@@ -1,0 +1,257 @@
+// Ablation benchmarks for the design choices DESIGN.md §6 calls out: token
+// quantization depth, PTHT size, balancer transfer latency, token-wire
+// width, DVFS window, PTB policies and relaxed thresholds. Each benchmark
+// sweeps one knob over a fixed workload and reports the resulting AoPB (or
+// energy) per setting, so
+//
+//	go test -bench=Ablation -benchtime=1x
+//
+// produces a sensitivity record for the mechanism.
+package ptbsim
+
+import (
+	"fmt"
+	"testing"
+
+	"ptbsim/internal/cache"
+	"ptbsim/internal/core"
+	"ptbsim/internal/isa"
+	"ptbsim/internal/metrics"
+	"ptbsim/internal/power"
+	"ptbsim/internal/sim"
+	"ptbsim/internal/workload"
+)
+
+// ablationRun executes one PTB configuration on a fixed workload.
+func ablationRun(b *testing.B, mutate func(*sim.Config)) *metrics.RunResult {
+	b.Helper()
+	spec, _ := workload.ByName("ocean")
+	cfg := sim.Config{
+		Benchmark:     spec,
+		Cores:         8,
+		Technique:     sim.TechPTB,
+		Policy:        core.PolicyToAll,
+		WorkloadScale: benchScale,
+		MaxCycles:     20_000_000,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func ablationBase(b *testing.B) *metrics.RunResult {
+	b.Helper()
+	return ablationRun(b, func(c *sim.Config) { c.Technique = sim.TechNone })
+}
+
+func BenchmarkAblationTokenGroups(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			// Quantization error of the k-group model over all variants,
+			// plus the end-to-end AoPB it yields.
+			tm := power.NewTokenModelK(k)
+			worst := 0.0
+			for op := 1; op < isa.NumOps; op++ {
+				for _, ll := range []bool{false, true} {
+					exact := tm.ExactBaseTokens(isa.Op(op), ll)
+					quant := float64(tm.BaseTokens(isa.Op(op), ll))
+					if exact > 0 {
+						rel := (quant - exact) / exact
+						if rel < 0 {
+							rel = -rel
+						}
+						if rel > worst {
+							worst = rel
+						}
+					}
+				}
+			}
+			var aopb float64
+			for i := 0; i < b.N; i++ {
+				base := ablationBase(b)
+				r := ablationRun(b, func(c *sim.Config) { c.TokenGroups = k })
+				aopb = metrics.NormalizedAoPBPct(r, base)
+			}
+			b.ReportMetric(worst*100, "worst-quant-err%")
+			b.ReportMetric(aopb, "AoPB%")
+		})
+	}
+}
+
+func BenchmarkAblationPTHTSize(b *testing.B) {
+	for _, size := range []int{512, 2048, 8192} {
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			var aopb float64
+			for i := 0; i < b.N; i++ {
+				base := ablationBase(b)
+				r := ablationRun(b, func(c *sim.Config) { c.CPU.PTHTSize = size })
+				aopb = metrics.NormalizedAoPBPct(r, base)
+			}
+			b.ReportMetric(aopb, "AoPB%")
+		})
+	}
+}
+
+func BenchmarkAblationBalancerLatency(b *testing.B) {
+	for _, lat := range []core.Latency{{Send: 1, Process: 1, Return: 1}, {Send: 2, Process: 1, Return: 2}, {Send: 4, Process: 2, Return: 4}} {
+		lat := lat
+		b.Run(fmt.Sprintf("total=%d", lat.Total()), func(b *testing.B) {
+			var aopb float64
+			for i := 0; i < b.N; i++ {
+				base := ablationBase(b)
+				r := ablationRun(b, func(c *sim.Config) { c.PTBLatency = &lat })
+				aopb = metrics.NormalizedAoPBPct(r, base)
+			}
+			b.ReportMetric(aopb, "AoPB%")
+		})
+	}
+}
+
+func BenchmarkAblationWireBits(b *testing.B) {
+	for _, bits := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var aopb, slow float64
+			for i := 0; i < b.N; i++ {
+				base := ablationBase(b)
+				r := ablationRun(b, func(c *sim.Config) { c.WireBits = bits })
+				aopb = metrics.NormalizedAoPBPct(r, base)
+				slow = metrics.SlowdownPct(r, base)
+			}
+			b.ReportMetric(aopb, "AoPB%")
+			b.ReportMetric(slow, "slowdown%")
+		})
+	}
+}
+
+func BenchmarkAblationDVFSWindow(b *testing.B) {
+	for _, w := range []int64{256, 2048, 8192} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			var aopb float64
+			for i := 0; i < b.N; i++ {
+				base := ablationBase(b)
+				r := ablationRun(b, func(c *sim.Config) {
+					c.Technique = sim.TechDVFS
+					c.DVFSWindow = w
+				})
+				aopb = metrics.NormalizedAoPBPct(r, base)
+			}
+			b.ReportMetric(aopb, "dvfs-AoPB%")
+		})
+	}
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	for _, pol := range []core.Policy{core.PolicyToAll, core.PolicyToOne, core.PolicyDynamic} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var aopb, slow float64
+			for i := 0; i < b.N; i++ {
+				base := ablationBase(b)
+				r := ablationRun(b, func(c *sim.Config) { c.Policy = pol })
+				aopb = metrics.NormalizedAoPBPct(r, base)
+				slow = metrics.SlowdownPct(r, base)
+			}
+			b.ReportMetric(aopb, "AoPB%")
+			b.ReportMetric(slow, "slowdown%")
+		})
+	}
+}
+
+func BenchmarkAblationRelax(b *testing.B) {
+	for _, relax := range []float64{0, 0.10, 0.20, 0.30} {
+		relax := relax
+		b.Run(fmt.Sprintf("relax=%.0f%%", relax*100), func(b *testing.B) {
+			var aopb, energy float64
+			for i := 0; i < b.N; i++ {
+				base := ablationBase(b)
+				r := ablationRun(b, func(c *sim.Config) { c.RelaxFrac = relax })
+				aopb = metrics.NormalizedAoPBPct(r, base)
+				energy = metrics.NormalizedEnergyPct(r, base)
+			}
+			b.ReportMetric(aopb, "AoPB%")
+			b.ReportMetric(energy, "energy%")
+		})
+	}
+}
+
+func BenchmarkAblationSpinGate(b *testing.B) {
+	for _, tech := range []sim.Technique{sim.TechPTB, sim.TechPTBSpinGate} {
+		tech := tech
+		b.Run(string(tech), func(b *testing.B) {
+			var energy, slow float64
+			for i := 0; i < b.N; i++ {
+				spec, _ := workload.ByName("fluidanimate")
+				base, err := sim.Run(sim.Config{Benchmark: spec, Cores: 8,
+					WorkloadScale: benchScale, MaxCycles: 20_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := sim.Run(sim.Config{Benchmark: spec, Cores: 8,
+					Technique: tech, Policy: core.PolicyDynamic,
+					WorkloadScale: benchScale, MaxCycles: 20_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				energy = metrics.NormalizedEnergyPct(r, base)
+				slow = metrics.SlowdownPct(r, base)
+			}
+			b.ReportMetric(energy, "energy%")
+			b.ReportMetric(slow, "slowdown%")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch compares the optional next-line L1D prefetcher
+// (off = the paper's Table-1 machine) on a streaming-heavy benchmark.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, pf := range []bool{false, true} {
+		pf := pf
+		b.Run(fmt.Sprintf("prefetch=%v", pf), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				spec, _ := workload.ByName("fft")
+				r, err := sim.Run(sim.Config{
+					Benchmark: spec, Cores: 4, WorkloadScale: benchScale,
+					MaxCycles: 20_000_000,
+					Cache:     cache.Config{L1Prefetch: pf},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = float64(r.Committed) / float64(r.Cycles) / 4
+			}
+			b.ReportMetric(ipc, "IPC/core")
+		})
+	}
+}
+
+// BenchmarkAblationClusterSize evaluates the §III.E.2 clustered balancer on
+// a 16-core CMP: one chip-wide balancer (cluster=0) versus 4- and 8-core
+// clusters with their shorter transfer latencies.
+func BenchmarkAblationClusterSize(b *testing.B) {
+	for _, cs := range []int{0, 4, 8} {
+		cs := cs
+		b.Run(fmt.Sprintf("cluster=%d", cs), func(b *testing.B) {
+			var aopb float64
+			for i := 0; i < b.N; i++ {
+				base := ablationBase(b)
+				r := ablationRun(b, func(c *sim.Config) {
+					c.Cores = 16
+					c.PTBClusterSize = cs
+				})
+				baseR := ablationRun(b, func(c *sim.Config) {
+					c.Cores = 16
+					c.Technique = sim.TechNone
+				})
+				_ = base
+				aopb = metrics.NormalizedAoPBPct(r, baseR)
+			}
+			b.ReportMetric(aopb, "AoPB%")
+		})
+	}
+}

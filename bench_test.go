@@ -1,0 +1,249 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, regenerating the corresponding rows at a reduced
+// workload scale. Each benchmark reports its figure's headline metric
+// (e.g. avg-normalized AoPB%) through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a compact reproduction record. The full-size tables come from
+// cmd/ptbsweep (see EXPERIMENTS.md for paper-vs-measured values).
+package ptbsim
+
+import (
+	"strconv"
+	"testing"
+
+	"ptbsim/internal/budget"
+	"ptbsim/internal/core"
+	"ptbsim/internal/cpu"
+	"ptbsim/internal/isa"
+	"ptbsim/internal/power"
+	"ptbsim/internal/sim"
+)
+
+// benchScale keeps every figure benchmark in the seconds range.
+const benchScale = 0.06
+
+// benchSubset is a representative slice of the 14 workloads: one
+// barrier-bound, one lock-bound, one synchronization-free.
+var benchSubset = []string{"ocean", "unstructured", "blackscholes"}
+
+func newBenchRunner() *sim.Runner {
+	r := sim.NewRunner(benchScale)
+	r.MaxCycles = 20_000_000
+	return r
+}
+
+func avgColumn(t *sim.Table, col int) float64 {
+	// Average row is last; parse its column.
+	row := t.Rows[len(t.Rows)-1]
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Table1()
+		if len(t.Rows) < 15 {
+			b.Fatal("config table incomplete")
+		}
+	}
+}
+
+func BenchmarkTable2Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Table2()
+		if len(t.Rows) != 14 {
+			b.Fatal("catalog incomplete")
+		}
+	}
+}
+
+func BenchmarkFig2NaiveSplit(b *testing.B) {
+	var aopb float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Fig2(benchSubset, 8)
+		aopb = avgColumn(t, 4) // A.dvfs%
+	}
+	b.ReportMetric(aopb, "dvfs-AoPB%")
+}
+
+func BenchmarkFig3Breakdown(b *testing.B) {
+	var barrier16 float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Fig3([]string{"ocean"}, []int{2, 8})
+		v, _ := strconv.ParseFloat(t.Rows[len(t.Rows)-1][4], 64)
+		barrier16 = v
+	}
+	b.ReportMetric(barrier16, "ocean-8c-barrier%")
+}
+
+func BenchmarkFig4SpinPower(b *testing.B) {
+	var spin float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Fig4([]string{"unstructured", "ocean"}, []int{2, 8})
+		spin = avgColumn(t, 2) // 8-core column of the Avg row
+	}
+	b.ReportMetric(spin, "avg-spin-power%")
+}
+
+func BenchmarkFig5MotivationTrace(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		trace, budgetPJ := sim.Fig5Trace(benchScale)
+		if budgetPJ <= 0 {
+			b.Fatal("no budget")
+		}
+		n = len(trace)
+	}
+	b.ReportMetric(float64(n), "samples")
+}
+
+func BenchmarkFig6SpinTrace(b *testing.B) {
+	var n int
+	for i := 0; i < b.N; i++ {
+		trace, local := sim.Fig6Trace(benchScale)
+		if local <= 0 {
+			b.Fatal("no budget")
+		}
+		n = len(trace)
+	}
+	b.ReportMetric(float64(n), "samples")
+}
+
+// BenchmarkFig7BalancerThroughput exercises the worked-example machinery:
+// the PTB balancer redistributing tokens cycle by cycle (the Fig. 7 flow),
+// measured in balancing rounds per second.
+func BenchmarkFig7BalancerThroughput(b *testing.B) {
+	const n = 4
+	m := power.NewMeter(n)
+	tm := power.NewTokenModel()
+	cores := make([]*cpu.Core, n)
+	for i := range cores {
+		cores[i] = cpu.New(i, cpu.DefaultConfig(), m, tm, benchNullMem{}, benchNullSync{}, benchNullSrc{})
+	}
+	st := budget.NewChipState(cores, m, nil, 4000)
+	bal := core.NewBalancer(n, core.PolicyToAll, budget.None{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Cycle = int64(i)
+		st.ChipEstPJ = 0
+		for c := 0; c < n; c++ {
+			if c < 2 {
+				st.EstPJ[c] = 400
+			} else {
+				st.EstPJ[c] = 1800
+			}
+			st.ChipEstPJ += st.EstPJ[c]
+			st.ExtraPJ[c] = 0
+		}
+		bal.Tick(st)
+	}
+}
+
+func BenchmarkFig8LatencyTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Fig8()
+		if len(t.Rows) != 4 {
+			b.Fatal("latency table incomplete")
+		}
+	}
+}
+
+func BenchmarkFig9PolicySweep(b *testing.B) {
+	var ptbAoPB float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Fig9([]string{"ocean", "blackscholes"}, []int{2, 8})
+		v, _ := strconv.ParseFloat(t.Rows[len(t.Rows)-1][8], 64) // A.ptb% of 8-core ToAll
+		ptbAoPB = v
+	}
+	b.ReportMetric(ptbAoPB, "ptb-AoPB%")
+}
+
+func benchDetail(b *testing.B, id string, pol core.Policy) {
+	var ptbAoPB float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.FigDetail(id, benchSubset, 8, pol)
+		ptbAoPB = avgColumn(t, 8)
+	}
+	b.ReportMetric(ptbAoPB, "ptb-AoPB%")
+}
+
+func BenchmarkFig10ToAll(b *testing.B)   { benchDetail(b, "Figure 10", core.PolicyToAll) }
+func BenchmarkFig11ToOne(b *testing.B)   { benchDetail(b, "Figure 11", core.PolicyToOne) }
+func BenchmarkFig12Dynamic(b *testing.B) { benchDetail(b, "Figure 12", core.PolicyDynamic) }
+
+func BenchmarkFig13Performance(b *testing.B) {
+	var slow float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Fig13(benchSubset, 8)
+		slow = avgColumn(t, 4) // ptb slowdown
+	}
+	b.ReportMetric(slow, "ptb-slowdown%")
+}
+
+func BenchmarkFig14Relaxed(b *testing.B) {
+	var dE float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Fig14([]string{"ocean", "blackscholes"}, []int{8}, 0.20)
+		strict, _ := strconv.ParseFloat(t.Rows[len(t.Rows)-1][1], 64)
+		relaxed, _ := strconv.ParseFloat(t.Rows[len(t.Rows)-1][2], 64)
+		dE = relaxed - strict
+	}
+	b.ReportMetric(dE, "relax-energy-delta%")
+}
+
+func BenchmarkSec4DTDP(b *testing.B) {
+	var cores float64
+	for i := 0; i < b.N; i++ {
+		r := newBenchRunner()
+		t := r.Sec4D([]string{"ocean", "blackscholes"}, 8)
+		// PTB row's cores-at-TDP column.
+		v, _ := strconv.ParseFloat(t.Rows[2][3], 64)
+		cores = v
+	}
+	b.ReportMetric(cores, "ptb-cores@TDP")
+}
+
+// BenchmarkSimulatorSpeed measures raw simulation throughput: how many
+// simulated cycles one uncontrolled 4-core run covers per iteration (the
+// substrate's own figure of merit; divide by ns/op for cycles/second).
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner(benchScale)
+		out := r.Base("fft", 4)
+		cycles = out.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// Interface stubs for the balancer micro-benchmark.
+type benchNullMem struct{}
+
+func (benchNullMem) Read(int, uint64, func())      {}
+func (benchNullMem) Write(int, uint64, func())     {}
+func (benchNullMem) FetchProbe(int, uint64) bool   { return true }
+func (benchNullMem) FetchMiss(int, uint64, func()) {}
+
+type benchNullSrc struct{}
+
+func (benchNullSrc) Next() (isa.Inst, bool) { return isa.Inst{}, false }
+func (benchNullSrc) Resolve(int64)          {}
+
+type benchNullSync struct{}
+
+func (benchNullSync) Eval(int, isa.Inst) int64 { return 0 }

@@ -1,0 +1,125 @@
+// Command ptbsim runs one CMP simulation and prints the paper's metrics
+// for it, optionally next to the no-control base case.
+//
+// Usage:
+//
+//	ptbsim -bench ocean -cores 8 -tech ptb -policy dynamic
+//	ptbsim -bench fluidanimate -cores 16 -tech 2level -scale 0.3
+//	ptbsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ptbsim"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "ocean", "benchmark name (see -list)")
+		cores   = flag.Int("cores", 4, "number of cores (2, 4, 8, 16)")
+		tech    = flag.String("tech", "ptb", "technique: none, dvfs, dfs, 2level, ptb")
+		policy  = flag.String("policy", "dynamic", "PTB policy: toall, toone, dynamic")
+		relax   = flag.Float64("relax", 0, "relaxed trigger threshold (e.g. 0.2 = +20%)")
+		budget  = flag.Float64("budget", 0.5, "global budget as a fraction of rated peak")
+		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = Table 2 size)")
+		noBase  = flag.Bool("nobase", false, "skip the base-case run and normalization")
+		pessim  = flag.Bool("pessimistic", false, "use the 10-cycle PTB latency")
+		listAll = flag.Bool("list", false, "list benchmarks and exit")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	if *listAll {
+		fmt.Printf("%-9s %-14s %s\n", "SUITE", "BENCHMARK", "INPUT")
+		for _, b := range ptbsim.Benchmarks() {
+			fmt.Printf("%-9s %-14s %s\n", b.Suite, b.Name, b.InputSize)
+		}
+		return
+	}
+
+	pol := ptbsim.Dynamic
+	switch *policy {
+	case "toall":
+		pol = ptbsim.ToAll
+	case "toone":
+		pol = ptbsim.ToOne
+	case "dynamic":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	cfg := ptbsim.Config{
+		Benchmark:             *bench,
+		Cores:                 *cores,
+		Technique:             ptbsim.Technique(*tech),
+		Policy:                pol,
+		RelaxFrac:             *relax,
+		BudgetFrac:            *budget,
+		WorkloadScale:         *scale,
+		PessimisticPTBLatency: *pessim,
+	}
+
+	r, err := ptbsim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(r)
+
+	if !*noBase && cfg.Technique != ptbsim.None {
+		baseCfg := cfg
+		baseCfg.Technique = ptbsim.None
+		base, err := ptbsim.Run(baseCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("vs no-control base case:")
+		fmt.Printf("  normalized energy : %+6.1f %%\n", ptbsim.NormalizedEnergyPct(r, base))
+		fmt.Printf("  normalized AoPB   : %6.1f %%\n", ptbsim.NormalizedAoPBPct(r, base))
+		fmt.Printf("  slowdown          : %+6.1f %%\n", ptbsim.SlowdownPct(r, base))
+	}
+}
+
+func printResult(r *ptbsim.Result) {
+	label := string(r.Technique)
+	if r.Technique == ptbsim.PTB {
+		label += "/" + r.Policy
+	}
+	fmt.Printf("%s on %d cores (%s)\n", r.Benchmark, r.Cores, label)
+	fmt.Printf("  cycles            : %d\n", r.Cycles)
+	fmt.Printf("  instructions      : %d (IPC/core %.2f)\n", r.Committed,
+		float64(r.Committed)/float64(r.Cycles)/float64(r.Cores))
+	fmt.Printf("  energy            : %.4f mJ\n", r.EnergyJ*1e3)
+	fmt.Printf("  AoPB              : %.4f mJ (over budget %.1f%% of cycles)\n",
+		r.AoPBJ*1e3, r.OverBudgetFrac*100)
+	fmt.Printf("  chip power        : %.2f W mean, %.2f W std\n", r.MeanPowerW, r.StdPowerW)
+	fmt.Printf("  time breakdown    : busy %.1f%%, lock-acq %.1f%%, lock-rel %.1f%%, barrier %.1f%%\n",
+		r.BusyFrac*100, r.LockAcqFrac*100, r.LockRelFrac*100, r.BarrierFrac*100)
+	fmt.Printf("  spinning power    : %.1f %% of energy\n", r.SpinEnergyFrac*100)
+	fmt.Printf("  temperature       : %.1f C mean, %.2f C std\n", r.MeanTempC, r.StdTempC)
+	if len(r.ComponentJ) > 0 && r.EnergyJ > 0 {
+		fmt.Printf("  energy by group   :")
+		for _, g := range []string{"frontend", "execute", "caches", "noc", "dram", "power-mgmt", "clock", "leakage"} {
+			fmt.Printf(" %s %.0f%%", g, 100*r.ComponentJ[g]/r.EnergyJ)
+		}
+		fmt.Println()
+	}
+	if r.HitMaxCycles {
+		fmt.Println("  WARNING: run truncated by the cycle cap")
+	}
+}

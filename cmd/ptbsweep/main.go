@@ -1,0 +1,140 @@
+// Command ptbsweep regenerates the paper's tables and figures as text
+// tables. Each experiment is identified by its paper artifact id.
+//
+// Usage:
+//
+//	ptbsweep -exp fig2                 # one figure at the default scale
+//	ptbsweep -exp all -scale 0.25      # everything, shortened workloads
+//	ptbsweep -exp fig9 -cores 2,4,8    # restrict the core sweep
+//	ptbsweep -exp fig10 -benches ocean,radix,fft
+//
+// Workload scale trades fidelity for time: the paper shapes are stable
+// from about scale 0.25; scale 1.0 runs the full Table-2-calibrated sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"ptbsim/internal/core"
+	"ptbsim/internal/sim"
+)
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1,table2,fig2,fig3,fig4,fig8,fig9,fig10,fig11,fig12,fig13,fig14,sec4d,ext,all")
+		scale   = flag.Float64("scale", 0.25, "workload scale (1.0 = Table 2 size)")
+		cores   = flag.String("cores", "", "comma-separated core counts (default 2,4,8,16)")
+		benches = flag.String("benches", "", "comma-separated benchmarks (default all 14)")
+		relax   = flag.Float64("relax", 0.20, "fig14 relaxed threshold")
+		big     = flag.Int("bigcores", 16, "core count for the detailed figures (2/10/11/12/13)")
+		quiet   = flag.Bool("q", false, "suppress per-run progress")
+		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations during warm-up")
+		format  = flag.String("format", "text", "output format: text, md, csv")
+	)
+	flag.Parse()
+
+	render := func(t *sim.Table) {
+		switch *format {
+		case "md":
+			t.RenderMarkdown(os.Stdout)
+		case "csv":
+			t.RenderCSV(os.Stdout)
+		default:
+			t.Render(os.Stdout)
+		}
+	}
+
+	r := sim.NewRunner(*scale)
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
+
+	bs := sim.AllBenchmarks()
+	if *benches != "" {
+		bs = strings.Split(*benches, ",")
+	}
+	ccs := sim.CoreCounts()
+	if *cores != "" {
+		ccs = nil
+		for _, s := range strings.Split(*cores, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bad -cores:", err)
+				os.Exit(2)
+			}
+			ccs = append(ccs, n)
+		}
+	}
+
+	run := func(id string) {
+		switch id {
+		case "table1":
+			render(r.Table1())
+		case "table2":
+			render(r.Table2())
+		case "fig2":
+			render(r.Fig2(bs, *big))
+		case "fig3":
+			render(r.Fig3(bs, ccs))
+		case "fig4":
+			render(r.Fig4(bs, ccs))
+		case "fig8":
+			render(r.Fig8())
+		case "fig9":
+			render(r.Fig9(bs, ccs))
+		case "fig10":
+			render(r.FigDetail("Figure 10", bs, *big, core.PolicyToAll))
+		case "fig11":
+			render(r.FigDetail("Figure 11", bs, *big, core.PolicyToOne))
+		case "fig12":
+			render(r.FigDetail("Figure 12", bs, *big, core.PolicyDynamic))
+		case "fig13":
+			render(r.Fig13(bs, *big))
+		case "fig14":
+			render(r.Fig14(bs, ccs, *relax))
+		case "sec4d":
+			render(r.Sec4D(bs, *big))
+		case "ext":
+			lockBound := []string{"raytrace", "unstructured", "waternsq", "fluidanimate"}
+			if *benches != "" {
+				lockBound = bs
+			}
+			render(r.FigExt(lockBound, *big))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		// Precompute every needed run on all cores; the figure builders
+		// then assemble tables from the cache.
+		ccWarm := ccs
+		if !contains(ccWarm, *big) {
+			ccWarm = append(append([]int(nil), ccWarm...), *big)
+		}
+		r.Warm(bs, ccWarm, *relax, *par)
+		for _, id := range []string{"table1", "table2", "fig2", "fig3", "fig4",
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "sec4d", "ext"} {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}

@@ -1,0 +1,98 @@
+// Command ptbtrace regenerates the paper's power-trace figures: Fig. 5
+// (per-cycle CMP power around the global budget, the PTB motivation) and
+// Fig. 6 (the power signature of a core entering a spinning state). Output
+// is an ASCII chart plus optional CSV samples for external plotting.
+//
+// Usage:
+//
+//	ptbtrace -exp fig5
+//	ptbtrace -exp fig6 -csv > fig6.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ptbsim/internal/sim"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "fig5", "trace: fig5 (chip power vs budget), fig6 (spinning core)")
+		scale = flag.Float64("scale", 0.15, "workload scale")
+		csv   = flag.Bool("csv", false, "emit CSV samples instead of an ASCII chart")
+		width = flag.Int("width", 100, "chart columns")
+	)
+	flag.Parse()
+
+	var trace []float64
+	var budget float64
+	var title string
+	switch *exp {
+	case "fig5":
+		trace, budget = sim.Fig5Trace(*scale)
+		title = "Figure 5 — per-cycle CMP power vs the global power budget (4-core ocean)"
+	case "fig6":
+		trace, budget = sim.Fig6Trace(*scale)
+		title = "Figure 6 — per-cycle power of a core contending for a lock (raytrace)"
+	default:
+		fmt.Fprintf(os.Stderr, "unknown trace %q\n", *exp)
+		os.Exit(2)
+	}
+
+	if *csv {
+		fmt.Println("sample,power_pj,budget_pj")
+		for i, v := range trace {
+			fmt.Printf("%d,%.1f,%.1f\n", i, v, budget)
+		}
+		return
+	}
+	fmt.Println(title)
+	chart(trace, budget, *width)
+}
+
+// chart draws the trace as rows of a horizontal ASCII plot, marking the
+// budget line.
+func chart(trace []float64, budget float64, width int) {
+	if len(trace) == 0 {
+		fmt.Println("(empty trace)")
+		return
+	}
+	maxV := budget
+	for _, v := range trace {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	// Aggregate samples into at most 48 rows.
+	rows := 48
+	per := (len(trace) + rows - 1) / rows
+	budgetCol := int(budget / maxV * float64(width-1))
+	fmt.Printf("budget = %.0f pJ/cycle (column marked '|'), peak sample = %.0f\n", budget, maxV)
+	for i := 0; i < len(trace); i += per {
+		end := i + per
+		if end > len(trace) {
+			end = len(trace)
+		}
+		avg := 0.0
+		for _, v := range trace[i:end] {
+			avg += v
+		}
+		avg /= float64(end - i)
+		col := int(avg / maxV * float64(width-1))
+		line := []byte(strings.Repeat(" ", width))
+		for c := 0; c <= col && c < width; c++ {
+			line[c] = '#'
+		}
+		if budgetCol < width {
+			if line[budgetCol] == '#' {
+				line[budgetCol] = 'X'
+			} else {
+				line[budgetCol] = '|'
+			}
+		}
+		fmt.Printf("%6d %s %.0f\n", i, string(line), avg)
+	}
+}

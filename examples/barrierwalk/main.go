@@ -1,0 +1,133 @@
+// Barrierwalk reproduces the worked example of Figure 7: four cores with a
+// local budget of 10 tokens each arrive one by one at a barrier. As each
+// core starts spinning (consuming 4 tokens), it hands its 6 spare tokens to
+// the PTB load-balancer, which re-grants them to the cores still computing
+// — so the last, critical thread runs with an ever larger budget and is
+// never slowed down.
+//
+// This example drives the real balancer (internal/core) against a scripted
+// power schedule so the token flow is visible step by step; see
+// examples/quickstart for the public-API view of the same mechanism.
+package main
+
+import (
+	"fmt"
+
+	"ptbsim/internal/budget"
+	"ptbsim/internal/core"
+	"ptbsim/internal/cpu"
+	"ptbsim/internal/isa"
+	"ptbsim/internal/power"
+)
+
+// nullMem, nullSrc and nullSync satisfy the core's interfaces; the cores
+// themselves stay idle — the walkthrough drives the balancer directly with
+// the Figure-7 power schedule.
+type nullMem struct{}
+
+func (nullMem) Read(int, uint64, func())      {}
+func (nullMem) Write(int, uint64, func())     {}
+func (nullMem) FetchProbe(int, uint64) bool   { return true }
+func (nullMem) FetchMiss(int, uint64, func()) {}
+
+type nullSrc struct{}
+
+func (nullSrc) Next() (isa.Inst, bool) { return isa.Inst{}, false }
+func (nullSrc) Resolve(int64)          {}
+
+type nullSync struct{}
+
+func (nullSync) Eval(int, isa.Inst) int64 { return 0 }
+
+// recorder captures the grants each cycle.
+type recorder struct{ extra []float64 }
+
+func (r *recorder) Name() string { return "recorder" }
+func (r *recorder) Tick(st *budget.ChipState) {
+	r.extra = append([]float64(nil), st.ExtraPJ...)
+}
+
+func main() {
+	const n = 4
+	// Figure 7 uses a 10-token local budget; our token is 2 pJ, so the
+	// local budget is 20 pJ and the busy/spinning levels below mirror the
+	// figure's 13-vs-4-token split.
+	const tokenPJ = power.TokenUnitPJ
+	localTokens := 10.0
+	busyTokens := 13.0 // a computing core wants more than its share
+	spinTokens := 4.0  // a spinning core needs far less
+
+	meter := power.NewMeter(n)
+	tm := power.NewTokenModel()
+	cores := make([]*cpu.Core, n)
+	for i := range cores {
+		cores[i] = cpu.New(i, cpu.DefaultConfig(), meter, tm, nullMem{}, nullSync{}, nullSrc{})
+	}
+	st := budget.NewChipState(cores, meter, nil, n*localTokens*tokenPJ)
+	rec := &recorder{}
+	bal := core.NewBalancer(n, core.PolicyToAll, rec)
+
+	// arrival[i] is the walkthrough step at which core i reaches the
+	// barrier and starts spinning (core 3 is the critical thread).
+	arrival := [n]int{2, 0, 1, 99}
+
+	fmt.Println("Figure 7 walkthrough — PTB at a barrier (ToAll policy)")
+	fmt.Printf("local budget = %.0f tokens/core; busy = %.0f, spinning = %.0f\n\n",
+		localTokens, busyTokens, spinTokens)
+	fmt.Printf("%-5s %-28s %-22s %s\n", "step", "state (C1..C4)", "est tokens", "granted tokens")
+
+	lat := core.LatencyFor(n).Total()
+	for step := 0; step < 6; step++ {
+		// Hold each phase for the transfer latency so grants land within
+		// the phase they were donated in.
+		var stateStr string
+		for sub := int64(0); sub <= lat; sub++ {
+			cycle := int64(step)*(lat+1) + sub + 1
+			st.Cycle = cycle
+			st.ChipEstPJ = 0
+			var states []string
+			for i := 0; i < n; i++ {
+				tok := busyTokens
+				if step >= arrival[i] {
+					tok = spinTokens
+				}
+				st.EstPJ[i] = tok * tokenPJ
+				st.ChipEstPJ += st.EstPJ[i]
+				if step >= arrival[i] {
+					states = append(states, "spin")
+				} else {
+					states = append(states, "busy")
+				}
+			}
+			// Figure 7 assumes the CMP sits at its budget limit throughout
+			// (donation only happens while the chip exceeds the global
+			// budget); emulate that standing pressure so the token flow of
+			// the figure is visible even as spinners lower the real sum.
+			if st.ChipEstPJ <= st.GlobalBudgetPJ {
+				st.ChipEstPJ = st.GlobalBudgetPJ + 1
+			}
+			for i := range st.ExtraPJ {
+				st.ExtraPJ[i] = 0
+			}
+			stateStr = fmt.Sprint(states)
+			bal.Tick(st)
+		}
+		var est, grants []string
+		for i := 0; i < n; i++ {
+			est = append(est, fmt.Sprintf("%.0f", st.EstPJ[i]/tokenPJ))
+			grants = append(grants, fmt.Sprintf("+%.1f", rec.extra[i]/tokenPJ))
+		}
+		fmt.Printf("%-5d %-28s %-22s %s\n", step, stateStr, fmt.Sprint(est), fmt.Sprint(grants))
+	}
+
+	donated, granted, discarded, rounds := bal.Stats()
+	fmt.Printf("\nbalancer: %.0f tokens donated, %.0f granted, %.0f discarded over %d rounds\n",
+		donated/tokenPJ, granted/tokenPJ, discarded/tokenPJ, rounds)
+	fmt.Println("(grants are capped by the 4-bit token wires — one core can receive")
+	fmt.Println(" at most its own local budget per cycle, hence the discarded excess)")
+	fmt.Println("\nAs cores reach the barrier their spare tokens flow to the cores")
+	fmt.Println("still computing; the last (critical) thread ends up with the whole")
+	fmt.Println("chip's spare budget — it is never throttled, so the barrier opens")
+	fmt.Println("as early as the power budget allows. PTB never identified a")
+	fmt.Println("barrier: it only balanced power.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: run one parallel benchmark on a simulated CMP under a 50%
+// power budget with Power Token Balancing, and compare it against the
+// uncontrolled base case and plain DVFS — the paper's headline comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ptbsim"
+)
+
+func main() {
+	const bench = "ocean"
+	const cores = 8
+
+	fmt.Printf("== %s on a %d-core CMP, global budget = 50%% of peak ==\n\n", bench, cores)
+
+	base := run(ptbsim.Config{Benchmark: bench, Cores: cores, WorkloadScale: 0.3})
+	dvfs := run(ptbsim.Config{Benchmark: bench, Cores: cores, WorkloadScale: 0.3,
+		Technique: ptbsim.DVFS})
+	ptb := run(ptbsim.Config{Benchmark: bench, Cores: cores, WorkloadScale: 0.3,
+		Technique: ptbsim.PTB, Policy: ptbsim.Dynamic})
+
+	fmt.Printf("%-12s %10s %10s %10s %9s %9s\n",
+		"technique", "cycles", "energy mJ", "AoPB mJ", "meanP W", "tempC")
+	for _, r := range []*ptbsim.Result{base, dvfs, ptb} {
+		label := string(r.Technique)
+		if r.Technique == ptbsim.PTB {
+			label += "/" + r.Policy
+		}
+		fmt.Printf("%-12s %10d %10.4f %10.4f %9.2f %9.1f\n",
+			label, r.Cycles, r.EnergyJ*1e3, r.AoPBJ*1e3, r.MeanPowerW, r.MeanTempC)
+	}
+
+	fmt.Println("\nnormalized to the base case (paper metrics):")
+	fmt.Printf("%-12s %12s %12s %12s\n", "technique", "energy %", "AoPB %", "slowdown %")
+	for _, r := range []*ptbsim.Result{dvfs, ptb} {
+		label := string(r.Technique)
+		if r.Technique == ptbsim.PTB {
+			label += "/" + r.Policy
+		}
+		fmt.Printf("%-12s %+12.1f %12.1f %+12.1f\n", label,
+			ptbsim.NormalizedEnergyPct(r, base),
+			ptbsim.NormalizedAoPBPct(r, base),
+			ptbsim.SlowdownPct(r, base))
+	}
+	fmt.Println("\nLower AoPB% = more accurate budget matching: PTB tracks the")
+	fmt.Println("budget far more tightly than DVFS at a small energy premium.")
+}
+
+func run(cfg ptbsim.Config) *ptbsim.Result {
+	r, err := ptbsim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}

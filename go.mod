@@ -1,0 +1,3 @@
+module ptbsim
+
+go 1.22

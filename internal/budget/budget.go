@@ -1,0 +1,237 @@
+// Package budget implements the power-budget enforcement framework (§III):
+// the global budget and its naive equal split into local budgets, the
+// per-cycle estimated-power signal controllers act on (power tokens, not
+// performance counters), and the controller stack evaluated in the paper —
+// DVFS, DFS, and the two-level hybrid that PTB builds on.
+package budget
+
+import (
+	"ptbsim/internal/cpu"
+	"ptbsim/internal/dvfs"
+	"ptbsim/internal/microarch"
+	"ptbsim/internal/power"
+	"ptbsim/internal/syncprim"
+)
+
+// ChipState is the per-cycle view the controllers operate on. The simulator
+// rebuilds EstPJ every cycle; the PTB balancer adjusts ExtraPJ/DonatedPJ.
+type ChipState struct {
+	Cycle  int64
+	NCores int
+
+	// GlobalBudgetPJ is the chip budget per cycle; LocalBudgetPJ its naive
+	// equal split (global/n, §III.C).
+	GlobalBudgetPJ float64
+	LocalBudgetPJ  []float64
+
+	// ExtraPJ are tokens granted to each core by the PTB balancer for this
+	// cycle; DonatedPJ are tokens a core has given away that are still in
+	// flight (they tighten its own budget, §III.E.2).
+	ExtraPJ   []float64
+	DonatedPJ []float64
+
+	// EstPJ is each core's estimated power this cycle (token-based);
+	// ChipEstPJ their sum.
+	EstPJ     []float64
+	ChipEstPJ float64
+
+	Cores []*cpu.Core
+	Meter *power.Meter
+	Sync  *syncprim.Table
+}
+
+// NewChipState allocates the state for n cores with the given global
+// budget.
+func NewChipState(cores []*cpu.Core, meter *power.Meter, sync *syncprim.Table, globalBudgetPJ float64) *ChipState {
+	n := len(cores)
+	st := &ChipState{
+		NCores:         n,
+		GlobalBudgetPJ: globalBudgetPJ,
+		LocalBudgetPJ:  make([]float64, n),
+		ExtraPJ:        make([]float64, n),
+		DonatedPJ:      make([]float64, n),
+		EstPJ:          make([]float64, n),
+		Cores:          cores,
+		Meter:          meter,
+		Sync:           sync,
+	}
+	for i := range st.LocalBudgetPJ {
+		st.LocalBudgetPJ[i] = globalBudgetPJ / float64(n)
+	}
+	return st
+}
+
+// Refresh recomputes the estimated-power signal for the new cycle and
+// clears the per-cycle PTB grants.
+func (st *ChipState) Refresh(cycle int64) {
+	st.Cycle = cycle
+	st.ChipEstPJ = 0
+	for i, c := range st.Cores {
+		st.ExtraPJ[i] = 0
+		st.EstPJ[i] = Estimate(c, st.Meter)
+		st.ChipEstPJ += st.EstPJ[i]
+	}
+}
+
+// EffectiveLocal returns core i's local budget for this cycle: the naive
+// share, minus in-flight donations, plus PTB grants.
+func (st *ChipState) EffectiveLocal(i int) float64 {
+	return st.LocalBudgetPJ[i] - st.DonatedPJ[i] + st.ExtraPJ[i]
+}
+
+// ChipOver reports whether the chip exceeds the global budget this cycle.
+func (st *ChipState) ChipOver() bool { return st.ChipEstPJ > st.GlobalBudgetPJ }
+
+// Estimate computes a core's per-cycle power estimate in picojoules: the
+// analytically known clock/leakage floor at its current operating point,
+// the window-residency term (ROB occupancy × the token unit), and the
+// short-horizon average of PTHT token consumption (§III.B — power is
+// estimated by "accumulating the power-tokens of each instruction being
+// fetched"; the average spreads each instruction's lifetime cost over the
+// cycles it is in flight, no performance counters involved).
+func Estimate(c *cpu.Core, m *power.Meter) float64 {
+	v := m.Voltage(c.ID())
+	vsq := v * v
+	floor := power.EnergyPJ[power.EvClockActive]*vsq*c.Speed() +
+		power.EnergyPJ[power.EvLeakage]*v
+	dyn := (c.TokenRate() + float64(c.ROBOccupancy())) * power.TokenUnitPJ
+	return floor + dyn*vsq
+}
+
+// Controller is one budget-matching technique, ticked once per global
+// cycle after the state is refreshed.
+type Controller interface {
+	Name() string
+	Tick(st *ChipState)
+}
+
+// DVFSController is the paper's technique (a)/(b): a per-core window-based
+// governor over a voltage/frequency ladder.
+type DVFSController struct {
+	name   string
+	gov    *dvfs.Governor
+	window int64
+	acc    []float64
+	chip   float64
+	count  int64
+	trans  int64
+
+	// Relax widens the budget the governor aims for (§IV.C): the
+	// power-saving modes engage only relax above the local budget.
+	Relax float64
+}
+
+// NewDVFS builds the five-mode DVFS controller for n cores.
+func NewDVFS(n int) *DVFSController {
+	return &DVFSController{
+		name:   "dvfs",
+		gov:    dvfs.NewGovernor(n, dvfs.DVFSModes()),
+		window: dvfs.DefaultWindow,
+		acc:    make([]float64, n),
+	}
+}
+
+// NewDFS builds the frequency-only variant.
+func NewDFS(n int) *DVFSController {
+	c := NewDVFS(n)
+	c.name = "dfs"
+	c.gov = dvfs.NewGovernor(n, dvfs.DFSModes())
+	return c
+}
+
+// Name identifies the technique.
+func (d *DVFSController) Name() string { return d.name }
+
+// Governor exposes the underlying governor (for tests and the sweep tool).
+func (d *DVFSController) Governor() *dvfs.Governor { return d.gov }
+
+// SetWindow overrides the decision window (ablation knob; default
+// dvfs.DefaultWindow).
+func (d *DVFSController) SetWindow(w int64) {
+	if w < 1 {
+		w = 1
+	}
+	d.window = w
+}
+
+// Tick accumulates estimates and, at window boundaries, re-decides every
+// core's operating point.
+func (d *DVFSController) Tick(st *ChipState) {
+	for i := range st.EstPJ {
+		d.acc[i] += st.EstPJ[i]
+	}
+	d.chip += st.ChipEstPJ
+	d.count++
+	if d.count < d.window {
+		return
+	}
+	chipOver := d.chip/float64(d.count) > st.GlobalBudgetPJ*(1+d.Relax)
+	for i, c := range st.Cores {
+		avg := d.acc[i] / float64(d.count)
+		mode, changed := d.gov.Decide(i, avg, st.EffectiveLocal(i)*(1+d.Relax), chipOver)
+		if changed {
+			d.trans++
+			c.SetSpeed(mode.F, dvfs.DefaultTransitionTicks)
+			st.Meter.SetVoltage(i, mode.V)
+		}
+		d.acc[i] = 0
+	}
+	d.chip = 0
+	d.count = 0
+}
+
+// TwoLevel is technique (c): the DVFS first level plus the per-cycle
+// microarchitectural spike clipper, optionally relaxed (§IV.C) to trigger
+// only RelaxFrac above the budget.
+type TwoLevel struct {
+	DVFS      *DVFSController
+	RelaxFrac float64
+
+	// techniqueCycles counts, per level, how many core-cycles each rung was
+	// engaged (ablation/stats).
+	techniqueCycles [microarch.NumLevels]int64
+}
+
+// NewTwoLevel builds the hybrid controller for n cores. The relax
+// threshold (§IV.C) loosens both levels: the DVFS governor aims for
+// budget×(1+relax) and the microarchitectural clipper triggers only that
+// far above the (grant-adjusted) local budget.
+func NewTwoLevel(n int, relax float64) *TwoLevel {
+	d := NewDVFS(n)
+	d.Relax = relax
+	return &TwoLevel{DVFS: d, RelaxFrac: relax}
+}
+
+// Name identifies the technique.
+func (t *TwoLevel) Name() string { return "2level" }
+
+// TechniqueCycles returns how many core-cycles each rung was engaged.
+func (t *TwoLevel) TechniqueCycles() [microarch.NumLevels]int64 {
+	return t.techniqueCycles
+}
+
+// Tick runs the coarse DVFS level then clips remaining spikes with the
+// microarchitectural ladder.
+func (t *TwoLevel) Tick(st *ChipState) {
+	t.DVFS.Tick(st)
+	chipOver := st.ChipOver()
+	for i, c := range st.Cores {
+		k := c.Knobs()
+		eff := st.EffectiveLocal(i)
+		lvl := microarch.LevelNone
+		if chipOver && eff > 0 && st.EstPJ[i] > eff*(1+t.RelaxFrac) {
+			lvl = microarch.ForDistance((st.EstPJ[i] - eff) / eff)
+		}
+		microarch.Apply(k, lvl)
+		t.techniqueCycles[lvl]++
+	}
+}
+
+// None is the no-control baseline.
+type None struct{}
+
+// Name identifies the technique.
+func (None) Name() string { return "none" }
+
+// Tick does nothing.
+func (None) Tick(*ChipState) {}

@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"testing"
+
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/mesh"
+	"ptbsim/internal/power"
+	"ptbsim/internal/xrand"
+)
+
+func TestProbeHitAndMiss(t *testing.T) {
+	r := newRig(2)
+	if r.h.L1D[0].Probe(0x1000) {
+		t.Fatal("probe hit on a cold cache")
+	}
+	done := false
+	r.h.Read(0, 0x1000, func() { done = true })
+	r.run(t, 20000)
+	if !done {
+		t.Fatal("fill failed")
+	}
+	if !r.h.L1D[0].Probe(0x1000) {
+		t.Fatal("probe missed a resident line")
+	}
+	// Probe must not have side effects on a miss: the line is still absent
+	// elsewhere.
+	if r.h.L1D[1].Probe(0x1000) {
+		t.Fatal("probe hit on the wrong core")
+	}
+}
+
+func TestProbeSkipsWritebackBuffer(t *testing.T) {
+	r := newRig(2)
+	wrote := false
+	r.h.Write(0, 0x2000, func() { wrote = true })
+	r.run(t, 20000)
+	if !wrote {
+		t.Fatal("write failed")
+	}
+	// Force the dirty line into the writeback buffer.
+	const stride = 512 * 64
+	for i := 1; i <= 2; i++ {
+		r.h.Read(0, uint64(0x2000+i*stride), func() {})
+	}
+	// Immediately (before the PutAck), a probe of the evicting line must
+	// miss (the line is in the buffer, not the array).
+	if r.h.L1D[0].Probe(0x2000) {
+		// Depending on event interleaving the eviction may not have started
+		// yet; drain and re-check the steady state instead of failing hard.
+		r.run(t, 20000)
+		if _, ok := r.h.L1D[0].wb[0x2000]; ok {
+			t.Fatal("probe hit a line sitting in the writeback buffer")
+		}
+	}
+	r.run(t, 20000)
+}
+
+func TestL1IAndL1DIndependent(t *testing.T) {
+	r := newRig(2)
+	// The same line fetched as instructions and read as data lives in both
+	// L1s as shared copies.
+	n := 0
+	r.h.Fetch(0, 0x3000, func() { n++ })
+	r.run(t, 20000)
+	r.h.Read(0, 0x3000, func() { n++ })
+	r.run(t, 20000)
+	if n != 2 {
+		t.Fatalf("%d of 2 accesses completed", n)
+	}
+	if r.h.L1I[0].find(0x3000) == nil || r.h.L1D[0].find(0x3000) == nil {
+		t.Fatal("line not present in both L1s")
+	}
+	// A remote write must invalidate both copies.
+	wrote := false
+	r.h.Write(1, 0x3000, func() { wrote = true })
+	r.run(t, 20000)
+	if !wrote {
+		t.Fatal("remote write failed")
+	}
+	if r.h.L1I[0].find(0x3000) != nil || r.h.L1D[0].find(0x3000) != nil {
+		t.Fatal("write did not invalidate both L1 copies")
+	}
+}
+
+func TestWritebackBufferRetries(t *testing.T) {
+	r := newRig(2)
+	wrote := false
+	r.h.Write(0, 0x4000, func() { wrote = true })
+	r.run(t, 20000)
+	if !wrote {
+		t.Fatal("initial write failed")
+	}
+	// Evict it, then access the same line again while the writeback is in
+	// flight: the access must be deferred and still complete.
+	const stride = 512 * 64
+	reread := false
+	for i := 1; i <= 2; i++ {
+		r.h.Read(0, uint64(0x4000+i*stride), func() {})
+	}
+	r.h.Read(0, 0x4000, func() { reread = true })
+	r.run(t, 50000)
+	if !reread {
+		t.Fatal("access to an evicting line never completed")
+	}
+}
+
+func TestDirectoryQueueFairness(t *testing.T) {
+	// Hammer one line with writes from all cores; every writer must
+	// eventually win (FIFO queueing at the directory, no starvation).
+	r := newRig(4)
+	wins := make([]int, 4)
+	var issue func(core, round int)
+	issue = func(core, round int) {
+		if round == 6 {
+			return
+		}
+		r.h.Write(core, 0x5000, func() {
+			wins[core]++
+			issue(core, round+1)
+		})
+	}
+	for c := 0; c < 4; c++ {
+		issue(c, 0)
+	}
+	r.run(t, 2_000_000)
+	for c, w := range wins {
+		if w != 6 {
+			t.Fatalf("core %d completed %d of 6 writes", c, w)
+		}
+	}
+}
+
+func TestUncontendedLatencies(t *testing.T) {
+	// A local L1 hit takes 1 cycle; an L2 hit takes tens; DRAM hundreds.
+	r := newRig(2)
+	var fillAt int64
+	r.h.Read(0, 0x6000, func() { fillAt = r.q.Now() })
+	r.run(t, 20000)
+	if fillAt < 300 {
+		t.Fatalf("cold miss completed in %d cycles; DRAM is 300", fillAt)
+	}
+	start := r.q.Now()
+	var hitAt int64
+	r.h.Read(0, 0x6000, func() { hitAt = r.q.Now() - start })
+	r.run(t, 100)
+	if hitAt != 1 {
+		t.Fatalf("L1 hit latency %d, want 1", hitAt)
+	}
+}
+
+func TestSharerCountTracking(t *testing.T) {
+	r := newRig(4)
+	for c := 0; c < 4; c++ {
+		r.h.Read(c, 0x7000, func() {})
+		r.run(t, 20000)
+	}
+	home := int((0x7000 / 64) % 4)
+	e := r.h.Banks[home].entry(0x7000)
+	// One owner (the first reader, downgraded to O) plus three sharers.
+	n := 0
+	for _, s := range e.sharerList() {
+		_ = s
+		n++
+	}
+	if e.state != dirOwned || n != 3 {
+		t.Fatalf("directory state %v with %d sharers, want owned + 3 sharers", e.state, n)
+	}
+}
+
+func TestEnergySeparatesL1IFromL1D(t *testing.T) {
+	r := newRig(2)
+	r.h.Fetch(0, 0x8000, func() {})
+	r.run(t, 20000)
+	if r.m.Count(0, power.EvL1I) == 0 {
+		t.Fatal("instruction fetch charged no L1I energy")
+	}
+	if r.m.Count(0, power.EvL1DRead) != 0 {
+		t.Fatal("instruction fetch charged L1D energy")
+	}
+}
+
+func TestPrefetcherFetchesNextLine(t *testing.T) {
+	q := &eventq.Queue{}
+	m := power.NewMeter(2)
+	net := mesh.New(2, q, m)
+	h := NewHierarchy(2, q, m, net, Config{L1Prefetch: true})
+	r := &rig{q: q, m: m, h: h}
+
+	done := false
+	r.h.Read(0, 0x9000, func() { done = true })
+	r.run(t, 20000)
+	if !done {
+		t.Fatal("demand read failed")
+	}
+	issued, _ := r.h.L1D[0].PrefetchStats()
+	if issued == 0 {
+		t.Fatal("no prefetch issued on a demand miss")
+	}
+	// The next line should now be resident: reading it is a hit.
+	hitsBefore := r.h.L1D[0].Hits()
+	got := false
+	r.h.Read(0, 0x9040, func() { got = true })
+	r.run(t, 20000)
+	if !got {
+		t.Fatal("next-line read failed")
+	}
+	if r.h.L1D[0].Hits() != hitsBefore+1 {
+		t.Fatal("next-line read did not hit the prefetched line")
+	}
+	_, useful := r.h.L1D[0].PrefetchStats()
+	if useful == 0 {
+		t.Fatal("useful prefetch not counted")
+	}
+}
+
+func TestPrefetchStreamingSpeedup(t *testing.T) {
+	// Streaming through lines must complete faster with prefetch on.
+	runStream := func(pf bool) int64 {
+		q := &eventq.Queue{}
+		m := power.NewMeter(2)
+		net := mesh.New(2, q, m)
+		h := NewHierarchy(2, q, m, net, Config{L1Prefetch: pf})
+		r := &rig{q: q, m: m, h: h}
+		const lines = 64
+		next := 0
+		var step func()
+		step = func() {
+			next++
+			if next >= lines {
+				return
+			}
+			r.h.Read(0, uint64(0xA0000+next*64), step)
+		}
+		r.h.Read(0, 0xA0000, step)
+		r.run(t, 2_000_000)
+		if next < lines {
+			t.Fatalf("stream incomplete: %d/%d", next, lines)
+		}
+		return r.q.Now()
+	}
+	off := runStream(false)
+	on := runStream(true)
+	if on >= off {
+		t.Fatalf("prefetch did not speed up streaming: %d vs %d cycles", on, off)
+	}
+}
+
+func TestPrefetchOffByDefault(t *testing.T) {
+	r := newRig(2)
+	r.h.Read(0, 0xB000, func() {})
+	r.run(t, 20000)
+	if issued, _ := r.h.L1D[0].PrefetchStats(); issued != 0 {
+		t.Fatal("prefetcher active without being enabled")
+	}
+}
+
+func TestInvariantsOnQuiescentSystem(t *testing.T) {
+	r := newRig(4)
+	// Mixed traffic, then drain and check.
+	for c := 0; c < 4; c++ {
+		r.h.Read(c, 0xC000, func() {})
+		r.h.Write(c, uint64(0xD000+c*64), func() {})
+	}
+	r.run(t, 200000)
+	if err := r.h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsAfterTorture(t *testing.T) {
+	r := newRig(4)
+	rng := xrand.New(99)
+	for i := 0; i < 600; i++ {
+		core := rng.Intn(4)
+		line := uint64(0xE000 + rng.Intn(12)*64)
+		if rng.Bool(0.5) {
+			r.h.Write(core, line, func() {})
+		} else {
+			r.h.Read(core, line, func() {})
+		}
+		if rng.Bool(0.15) {
+			r.q.RunUntil(r.q.Now() + int64(rng.Intn(300)))
+		}
+	}
+	r.run(t, 3_000_000)
+	if err := r.h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,401 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/mesh"
+	"ptbsim/internal/power"
+	"ptbsim/internal/xrand"
+)
+
+// rig bundles a hierarchy with its queue for tests.
+type rig struct {
+	q *eventq.Queue
+	m *power.Meter
+	h *Hierarchy
+}
+
+func newRig(n int) *rig {
+	q := &eventq.Queue{}
+	m := power.NewMeter(n)
+	net := mesh.New(n, q, m)
+	h := NewHierarchy(n, q, m, net, Config{})
+	return &rig{q: q, m: m, h: h}
+}
+
+// run drives the queue until idle or limit cycles past the current time.
+func (r *rig) run(t *testing.T, limit int64) {
+	t.Helper()
+	start := r.q.Now()
+	for c := start; c < start+limit; c += 16 {
+		r.q.RunUntil(c)
+		if r.q.Empty() {
+			return
+		}
+	}
+	r.q.RunUntil(start + limit)
+	if !r.q.Empty() {
+		t.Fatalf("memory system did not quiesce within %d cycles", limit)
+	}
+}
+
+func TestColdReadThenHit(t *testing.T) {
+	r := newRig(2)
+	var fills int
+	r.h.Read(0, 0x1000, func() { fills++ })
+	r.run(t, 10000)
+	if fills != 1 {
+		t.Fatalf("cold read did not complete")
+	}
+	if r.h.L1D[0].Misses() != 1 {
+		t.Fatalf("expected 1 miss, got %d", r.h.L1D[0].Misses())
+	}
+	// Second read hits.
+	r.h.Read(0, 0x1008, func() { fills++ })
+	r.run(t, 100)
+	if fills != 2 || r.h.L1D[0].Hits() != 1 {
+		t.Fatalf("second read should hit: hits=%d", r.h.L1D[0].Hits())
+	}
+}
+
+func TestColdReadGrantsExclusive(t *testing.T) {
+	r := newRig(2)
+	done := false
+	r.h.Read(0, 0x40, func() { done = true })
+	r.run(t, 10000)
+	if !done {
+		t.Fatal("read did not complete")
+	}
+	l := r.h.L1D[0].find(0x40)
+	if l == nil || l.state != l1E {
+		t.Fatalf("cold read should install E, got %v", l)
+	}
+	// A write to the E line must be a silent hit.
+	wrote := false
+	r.h.Write(0, 0x40, func() { wrote = true })
+	r.run(t, 100)
+	if !wrote {
+		t.Fatal("write to E line did not complete quickly")
+	}
+	if l := r.h.L1D[0].find(0x40); l.state != l1M || !l.dirty {
+		t.Fatalf("silent upgrade failed: %+v", l)
+	}
+	if r.h.L1D[0].Misses() != 1 {
+		t.Fatalf("silent upgrade should not miss (misses=%d)", r.h.L1D[0].Misses())
+	}
+}
+
+func TestReadSharing(t *testing.T) {
+	r := newRig(4)
+	n := 0
+	for c := 0; c < 4; c++ {
+		r.h.Read(c, 0x2000, func() { n++ })
+		r.run(t, 20000)
+	}
+	if n != 4 {
+		t.Fatalf("only %d of 4 reads completed", n)
+	}
+	// First reader was E then downgraded to O by the forward; the rest are S.
+	if l := r.h.L1D[0].find(0x2000); l == nil || l.state != l1O {
+		t.Fatalf("first reader should be O after forwards, got %+v", l)
+	}
+	for c := 1; c < 4; c++ {
+		if l := r.h.L1D[c].find(0x2000); l == nil || l.state != l1S {
+			t.Fatalf("core %d should hold S, got %+v", c, l)
+		}
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	r := newRig(4)
+	for c := 0; c < 4; c++ {
+		r.h.Read(c, 0x3000, func() {})
+		r.run(t, 20000)
+	}
+	wrote := false
+	r.h.Write(3, 0x3000, func() { wrote = true })
+	r.run(t, 20000)
+	if !wrote {
+		t.Fatal("write did not complete")
+	}
+	for c := 0; c < 3; c++ {
+		if l := r.h.L1D[c].find(0x3000); l != nil {
+			t.Fatalf("core %d still holds the line after invalidation: %+v", c, l)
+		}
+	}
+	if l := r.h.L1D[3].find(0x3000); l == nil || l.state != l1M {
+		t.Fatalf("writer should hold M, got %+v", l)
+	}
+}
+
+func TestWritePingPong(t *testing.T) {
+	r := newRig(2)
+	const rounds = 20
+	done := 0
+	var step func(i int)
+	step = func(i int) {
+		if i == rounds {
+			return
+		}
+		r.h.Write(i%2, 0x4000, func() {
+			done++
+			step(i + 1)
+		})
+	}
+	step(0)
+	r.run(t, 200000)
+	if done != rounds {
+		t.Fatalf("ping-pong completed %d of %d writes", done, rounds)
+	}
+	// Ownership ends at core (rounds-1)%2; the other core must not hold it.
+	owner := (rounds - 1) % 2
+	if l := r.h.L1D[owner].find(0x4000); l == nil || l.state != l1M {
+		t.Fatalf("final owner state wrong: %+v", l)
+	}
+	if l := r.h.L1D[1-owner].find(0x4000); l != nil {
+		t.Fatalf("loser still holds line: %+v", l)
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	r := newRig(2)
+	r.h.Read(0, 0x5000, func() {})
+	r.run(t, 20000)
+	r.h.Read(1, 0x5000, func() {})
+	r.run(t, 20000)
+	// Core 1 holds S; its write is an upgrade (no data transfer needed).
+	wrote := false
+	r.h.Write(1, 0x5000, func() { wrote = true })
+	r.run(t, 20000)
+	if !wrote {
+		t.Fatal("upgrade did not complete")
+	}
+	if l := r.h.L1D[1].find(0x5000); l == nil || l.state != l1M {
+		t.Fatalf("upgrader should be M, got %+v", l)
+	}
+	if l := r.h.L1D[0].find(0x5000); l != nil {
+		t.Fatalf("previous owner still holds line after invalidation: %+v", l)
+	}
+}
+
+func TestDirtyOwnerForwardsToReader(t *testing.T) {
+	r := newRig(2)
+	r.h.Write(0, 0x6000, func() {})
+	r.run(t, 20000)
+	got := false
+	r.h.Read(1, 0x6000, func() { got = true })
+	r.run(t, 20000)
+	if !got {
+		t.Fatal("read from dirty owner did not complete")
+	}
+	if l := r.h.L1D[0].find(0x6000); l == nil || l.state != l1O {
+		t.Fatalf("dirty owner should downgrade to O, got %+v", l)
+	}
+	if l := r.h.L1D[1].find(0x6000); l == nil || l.state != l1S {
+		t.Fatalf("reader should be S, got %+v", l)
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	r := newRig(2)
+	// Dirty a line, then stream enough conflicting lines through the same
+	// set to force its eviction. Set count = 64KB/(2*64) = 512 sets; lines
+	// 512*64 bytes apart collide.
+	const stride = 512 * 64
+	wrote := false
+	r.h.Write(0, 0x8000, func() { wrote = true })
+	r.run(t, 20000)
+	if !wrote {
+		t.Fatal("initial write did not complete")
+	}
+	for i := 1; i <= 2; i++ {
+		r.h.Read(0, uint64(0x8000+i*stride), func() {})
+		r.run(t, 20000)
+	}
+	if l := r.h.L1D[0].find(0x8000); l != nil {
+		t.Fatalf("line should have been evicted, got %+v", l)
+	}
+	// The writeback buffer must have drained (PutAck processed).
+	if len(r.h.L1D[0].wb) != 0 {
+		t.Fatalf("writeback buffer not drained: %d entries", len(r.h.L1D[0].wb))
+	}
+	// Re-reading must still work (data now at home).
+	got := false
+	r.h.Read(1, 0x8000, func() { got = true })
+	r.run(t, 20000)
+	if !got {
+		t.Fatal("read after writeback failed")
+	}
+}
+
+func TestInstructionSharing(t *testing.T) {
+	r := newRig(4)
+	n := 0
+	for c := 0; c < 4; c++ {
+		r.h.Fetch(c, 0x100040, func() { n++ })
+		r.run(t, 20000)
+	}
+	if n != 4 {
+		t.Fatalf("%d of 4 fetches completed", n)
+	}
+	// All four L1Is end up with a copy.
+	for c := 1; c < 4; c++ {
+		if l := r.h.L1I[c].find(0x100040); l == nil {
+			t.Fatalf("core %d L1I missing line", c)
+		}
+	}
+}
+
+func TestL2CachesEvictedData(t *testing.T) {
+	r := newRig(2)
+	r.h.Write(0, 0x9000, func() {})
+	r.run(t, 20000)
+	const stride = 512 * 64
+	for i := 1; i <= 2; i++ {
+		r.h.Read(0, uint64(0x9000+i*stride), func() {})
+		r.run(t, 20000)
+	}
+	// 0x9000 was written back to its home bank's L2. A re-read must hit L2
+	// (no new memory access).
+	memBefore := r.h.Mem.Accesses()
+	got := false
+	r.h.Read(0, 0x9000, func() { got = true })
+	r.run(t, 20000)
+	if !got {
+		t.Fatal("re-read failed")
+	}
+	if r.h.Mem.Accesses() != memBefore {
+		t.Fatalf("re-read went to memory (%d -> %d accesses); expected L2 hit",
+			memBefore, r.h.Mem.Accesses())
+	}
+}
+
+func TestConcurrentReadersAndOneWriter(t *testing.T) {
+	r := newRig(8)
+	completed := 0
+	for c := 0; c < 8; c++ {
+		if c == 3 {
+			r.h.Write(c, 0xA000, func() { completed++ })
+		} else {
+			r.h.Read(c, 0xA000, func() { completed++ })
+		}
+	}
+	r.run(t, 100000)
+	if completed != 8 {
+		t.Fatalf("%d of 8 concurrent accesses completed", completed)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	r := newRig(2)
+	n := 0
+	// Four loads to the same missing line must merge into one transaction.
+	for i := 0; i < 4; i++ {
+		r.h.Read(0, uint64(0xB000+i*8), func() { n++ })
+	}
+	if out := r.h.L1D[0].OutstandingMisses(); out != 1 {
+		t.Fatalf("outstanding misses = %d, want 1 (merged)", out)
+	}
+	r.run(t, 20000)
+	if n != 4 {
+		t.Fatalf("%d of 4 merged loads completed", n)
+	}
+	if r.h.L1D[0].Misses() != 4 {
+		t.Fatalf("miss count should count all merged accesses, got %d", r.h.L1D[0].Misses())
+	}
+}
+
+func TestMSHROverflowQueues(t *testing.T) {
+	r := newRig(2)
+	n := 0
+	// More distinct missing lines than MSHRs.
+	for i := 0; i < DefaultMSHRs+4; i++ {
+		r.h.Read(0, uint64(0x10000+i*64), func() { n++ })
+	}
+	if out := r.h.L1D[0].OutstandingMisses(); out != DefaultMSHRs {
+		t.Fatalf("outstanding misses = %d, want %d", out, DefaultMSHRs)
+	}
+	r.run(t, 100000)
+	if n != DefaultMSHRs+4 {
+		t.Fatalf("%d of %d loads completed", n, DefaultMSHRs+4)
+	}
+}
+
+func TestRandomizedCoherenceTorture(t *testing.T) {
+	// Many cores hammer a small set of lines with random reads/writes. The
+	// protocol must complete every access and leave at most one exclusive
+	// owner (or only sharers) per line.
+	f := func(seed uint64) bool {
+		const n = 4
+		r := newRig(n)
+		rng := xrand.New(seed)
+		issued, completed := 0, 0
+		for i := 0; i < 300; i++ {
+			core := rng.Intn(n)
+			line := uint64(0xC000 + rng.Intn(8)*64)
+			issued++
+			if rng.Bool(0.4) {
+				r.h.Write(core, line, func() { completed++ })
+			} else {
+				r.h.Read(core, line, func() { completed++ })
+			}
+			// Occasionally let the system drain a bit.
+			if rng.Bool(0.2) {
+				r.q.RunUntil(r.q.Now() + int64(rng.Intn(400)))
+			}
+		}
+		for c := int64(0); c < 2_000_000 && !r.q.Empty(); c += 64 {
+			r.q.RunUntil(r.q.Now() + 64)
+		}
+		if completed != issued {
+			return false
+		}
+		// Coherence invariant: per line, either one owner (E/M/O) plus
+		// possibly sharers, or only sharers; never two E/M owners.
+		for l := 0; l < 8; l++ {
+			line := uint64(0xC000 + l*64)
+			excl := 0
+			for c := 0; c < n; c++ {
+				if ln := r.h.L1D[c].find(line); ln != nil {
+					if ln.state == l1E || ln.state == l1M {
+						excl++
+					}
+				}
+			}
+			if excl > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	r := newRig(2)
+	r.h.Read(0, 0xD000, func() {})
+	r.run(t, 20000)
+	if r.m.Count(0, power.EvL1DRead) == 0 {
+		t.Fatal("no L1D read energy charged")
+	}
+	home := int((0xD000 / 64) % 2)
+	if r.m.Count(home, power.EvDir) == 0 {
+		t.Fatal("no directory energy charged")
+	}
+	if r.h.Mem.Accesses() != 1 {
+		t.Fatalf("memory accesses = %d, want 1", r.h.Mem.Accesses())
+	}
+}
+
+func TestCacheIDs(t *testing.T) {
+	if DataCache(3).Core() != 3 || InstCache(3).Core() != 3 {
+		t.Fatal("CacheID core mapping broken")
+	}
+	if DataCache(3).IsInst() || !InstCache(3).IsInst() {
+		t.Fatal("CacheID kind mapping broken")
+	}
+}

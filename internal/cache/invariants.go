@@ -1,0 +1,88 @@
+package cache
+
+import "fmt"
+
+// CheckInvariants walks every cache and directory entry and verifies the
+// global MOESI invariants hold at a quiescent point (no messages in
+// flight). It returns the first violation found, or nil. Tests call it
+// after draining the event queue; it is not part of the simulation loop.
+//
+// Checked invariants:
+//
+//  1. Single writer: at most one L1 holds a line in E or M.
+//  2. Writer exclusion: if any L1 holds E/M, no other L1 holds any copy.
+//  3. Directory owner accuracy: the directory's owned state names an L1
+//     that actually holds the line in an owner state (E/M/O), and every
+//     L1 owner is known to the directory.
+//  4. Sharer soundness: every L1 holding S appears in its home
+//     directory's sharer set (the reverse may transiently not hold only
+//     through in-flight Puts, which quiescence excludes).
+func (h *Hierarchy) CheckInvariants() error {
+	type holder struct {
+		id CacheID
+		st l1State
+	}
+	holders := make(map[uint64][]holder)
+	collect := func(c *L1) {
+		for s := range c.lines {
+			for w := range c.lines[s] {
+				l := &c.lines[s][w]
+				if l.state != l1I {
+					holders[l.tag] = append(holders[l.tag], holder{c.id, l.state})
+				}
+			}
+		}
+	}
+	for i := 0; i < h.N; i++ {
+		collect(h.L1D[i])
+		collect(h.L1I[i])
+	}
+
+	for line, hs := range holders {
+		excl := 0
+		owners := 0
+		for _, x := range hs {
+			switch x.st {
+			case l1E, l1M:
+				excl++
+				owners++
+			case l1O:
+				owners++
+			}
+		}
+		if excl > 1 {
+			return fmt.Errorf("line %#x: %d exclusive holders", line, excl)
+		}
+		if excl == 1 && len(hs) > 1 {
+			return fmt.Errorf("line %#x: exclusive holder coexists with %d other copies", line, len(hs)-1)
+		}
+		if owners > 1 {
+			return fmt.Errorf("line %#x: %d owners", line, owners)
+		}
+
+		home := h.Banks[int((line/64)%uint64(h.N))]
+		e, ok := home.lines[line]
+		if !ok {
+			return fmt.Errorf("line %#x: cached but unknown to its home directory", line)
+		}
+		var dirOwnerHolds bool
+		for _, x := range hs {
+			if e.state == dirOwned && x.id == e.owner {
+				switch x.st {
+				case l1E, l1M, l1O:
+					dirOwnerHolds = true
+				}
+			}
+			if x.st == l1S && !e.isSharer(x.id) && !(e.state == dirOwned && e.owner == x.id) {
+				return fmt.Errorf("line %#x: cache %d holds S but is not a directory sharer", line, x.id)
+			}
+		}
+		if owners == 1 && e.state != dirOwned {
+			return fmt.Errorf("line %#x: an L1 owns it but directory state is %v", line, e.state)
+		}
+		if e.state == dirOwned && !dirOwnerHolds {
+			return fmt.Errorf("line %#x: directory owner %d holds no owner-state copy", line, e.owner)
+		}
+	}
+	return nil
+}

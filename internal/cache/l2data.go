@@ -1,0 +1,89 @@
+package cache
+
+// l2Data is the data array of one L2 bank: a set-associative tag store used
+// to decide whether the home bank can supply a line locally (12-cycle L2
+// access) or must fetch it from memory (300 cycles). Only presence is
+// tracked; line contents are immaterial to the simulation.
+type l2Data struct {
+	sets int
+	ways int
+	tags [][]uint64
+	// valid marks live ways.
+	valid [][]bool
+	// lruTick provides cheap LRU: higher = more recent.
+	lruTick [][]uint64
+	tick    uint64
+
+	hits, misses int64
+}
+
+// newL2Data builds a bank with the given geometry. sizeBytes/ways/lineBytes
+// must produce a power-of-two set count.
+func newL2Data(sizeBytes, ways, lineBytes int) *l2Data {
+	sets := sizeBytes / (ways * lineBytes)
+	d := &l2Data{sets: sets, ways: ways}
+	d.tags = make([][]uint64, sets)
+	d.valid = make([][]bool, sets)
+	d.lruTick = make([][]uint64, sets)
+	for i := range d.tags {
+		d.tags[i] = make([]uint64, ways)
+		d.valid[i] = make([]bool, ways)
+		d.lruTick[i] = make([]uint64, ways)
+	}
+	return d
+}
+
+func (d *l2Data) setFor(line uint64) int {
+	return int((line / 64) % uint64(d.sets))
+}
+
+// present probes the bank for a line, updating LRU and hit/miss counters.
+func (d *l2Data) present(line uint64) bool {
+	s := d.setFor(line)
+	for w := 0; w < d.ways; w++ {
+		if d.valid[s][w] && d.tags[s][w] == line {
+			d.tick++
+			d.lruTick[s][w] = d.tick
+			d.hits++
+			return true
+		}
+	}
+	d.misses++
+	return false
+}
+
+// insert installs a line, evicting the LRU way if needed. L2 evictions are
+// silent from the protocol's perspective: the directory keeps coherence
+// state separately, and clean data remains available in memory. (Dirty data
+// written back into the L2 by a PutM conceptually propagates to memory on
+// eviction; only timing matters here and that write is absorbed by the
+// memory model's bank occupancy.)
+func (d *l2Data) insert(line uint64) {
+	s := d.setFor(line)
+	// Already present: refresh.
+	for w := 0; w < d.ways; w++ {
+		if d.valid[s][w] && d.tags[s][w] == line {
+			d.tick++
+			d.lruTick[s][w] = d.tick
+			return
+		}
+	}
+	victim := 0
+	for w := 1; w < d.ways; w++ {
+		if !d.valid[s][w] {
+			victim = w
+			break
+		}
+		if d.lruTick[s][w] < d.lruTick[s][victim] {
+			victim = w
+		}
+	}
+	d.tick++
+	d.tags[s][victim] = line
+	d.valid[s][victim] = true
+	d.lruTick[s][victim] = d.tick
+}
+
+// Hits and Misses expose the bank-local counters.
+func (d *l2Data) Hits() int64   { return d.hits }
+func (d *l2Data) Misses() int64 { return d.misses }

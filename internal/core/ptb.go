@@ -1,0 +1,350 @@
+// Package core implements Power Token Balancing (PTB), the paper's primary
+// contribution (§III.E): a centralized load balancer that, every cycle,
+// collects spare power tokens from cores running under their local power
+// budget and grants them to cores over budget, so the chip matches a global
+// power budget without slowing down critical threads.
+//
+// Key properties reproduced from the paper:
+//
+//   - Tokens are a currency, not a loan: cores send *counts* of spare
+//     tokens over dedicated 4-bit-per-direction wires; nothing is repaid.
+//   - Balancing is per cycle; spare tokens are never stored across cycles.
+//   - Transfer latency depends on core count (Xilinx ISE estimates):
+//     4 cores → 1+1+1 cycles, 8 → 2+1+2, 16 → 4+2+4; a pessimistic
+//     10-cycle option exists and, per the paper, PTB still works.
+//   - A donating core tightens its own budget by what it donates each
+//     cycle, so in steady state the chip-wide allowance never exceeds the
+//     global budget.
+//   - Distribution policies: ToAll (split among all over-budget cores),
+//     ToOne (all to the neediest core), and the §IV.B dynamic selector
+//     (lock spinning → ToOne, barrier spinning → ToAll).
+//   - The balancer's wires and logic cost ~1% of chip power, charged to the
+//     power model.
+//
+// PTB knows nothing about locks, barriers or mispredictions — it only sees
+// power unbalance. Spinning detection falls out of the token stream for
+// free; the PowerPatternDetector below implements the paper's observation
+// (Fig. 6) that a spinning core's power settles to a low, stable level.
+package core
+
+import (
+	"ptbsim/internal/budget"
+	"ptbsim/internal/power"
+)
+
+// Policy selects how the balancer distributes spare tokens (§III.E.1).
+type Policy int
+
+const (
+	// PolicyToAll splits spare tokens equally among all cores over their
+	// local budget. Best for barrier-bound applications.
+	PolicyToAll Policy = iota
+	// PolicyToOne gives all spare tokens to the most power-hungry core.
+	// Best for lock-bound applications (priority to the critical section).
+	PolicyToOne
+	// PolicyDynamic switches between the two based on what kind of
+	// spinning is happening (§IV.B).
+	PolicyDynamic
+)
+
+// String names the policy as in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case PolicyToAll:
+		return "ToAll"
+	case PolicyToOne:
+		return "ToOne"
+	case PolicyDynamic:
+		return "Dynamic"
+	}
+	return "Policy?"
+}
+
+// Latency is the send/process/return cycle counts of one balancing round.
+type Latency struct {
+	Send, Process, Return int64
+}
+
+// Total returns the end-to-end token transfer latency.
+func (l Latency) Total() int64 { return l.Send + l.Process + l.Return }
+
+// LatencyFor returns the paper's Xilinx-derived latencies by core count.
+func LatencyFor(nCores int) Latency {
+	switch {
+	case nCores <= 4:
+		return Latency{1, 1, 1}
+	case nCores <= 8:
+		return Latency{2, 1, 2}
+	default:
+		return Latency{4, 2, 4}
+	}
+}
+
+// PessimisticLatency is the 10-cycle worst case the paper also evaluates.
+func PessimisticLatency() Latency { return Latency{4, 2, 4} }
+
+// defaultWireBits is the width of the paper's token wires ("4 wires for
+// sending and 4 wires for receiving the number of tokens per core");
+// amounts are encoded as multiples of localBudget/(2^bits − 1).
+const defaultWireBits = 4
+
+// flight is one balancing round in transit.
+type flight struct {
+	arriveAt int64
+	total    float64
+}
+
+// Balancer is the PTB load-balancer wrapped around an inner budget
+// controller (the 2-level technique in the paper's PTB+2level results).
+type Balancer struct {
+	n      int
+	policy Policy
+	lat    Latency
+	inner  budget.Controller
+	// wireQuanta is the maximum encodable token count per wire transfer.
+	wireQuanta int
+
+	flights []flight
+
+	detector *PowerPatternDetector
+	// detectorMask, when set, suppresses detector updates for masked
+	// cores (used by the spin-gating extension for sleep cycles).
+	detectorMask []bool
+
+	// Stats.
+	donatedPJ   float64
+	grantedPJ   float64
+	discardedPJ float64
+	rounds      int64
+	toOneRounds int64
+	toAllRounds int64
+}
+
+// NewBalancer creates the PTB mechanism for n cores with the standard
+// latency for that core count.
+func NewBalancer(n int, policy Policy, inner budget.Controller) *Balancer {
+	return NewBalancerLatency(n, policy, inner, LatencyFor(n))
+}
+
+// NewBalancerLatency allows overriding the transfer latency (for the
+// pessimistic 10-cycle experiment).
+func NewBalancerLatency(n int, policy Policy, inner budget.Controller, lat Latency) *Balancer {
+	return &Balancer{
+		n:          n,
+		policy:     policy,
+		lat:        lat,
+		inner:      inner,
+		wireQuanta: (1 << defaultWireBits) - 1,
+		detector:   NewPowerPatternDetector(n),
+	}
+}
+
+// SetWireBits overrides the token-wire width (ablation knob; the paper
+// uses 4 bits per direction).
+func (b *Balancer) SetWireBits(bits int) {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 16 {
+		bits = 16
+	}
+	b.wireQuanta = (1 << bits) - 1
+}
+
+// Name identifies the technique.
+func (b *Balancer) Name() string { return "ptb+" + b.inner.Name() }
+
+// Policy returns the configured distribution policy.
+func (b *Balancer) Policy() Policy { return b.policy }
+
+// Detector exposes the power-pattern spin detector fed by the balancer.
+func (b *Balancer) Detector() *PowerPatternDetector { return b.detector }
+
+// SetDetectorMask suppresses detector updates for cores whose entry is
+// true (the spin-gating extension masks sleep cycles).
+func (b *Balancer) SetDetectorMask(mask []bool) { b.detectorMask = mask }
+
+// Stats returns (donated, granted, discarded) token energy in pJ and the
+// number of balancing rounds.
+func (b *Balancer) Stats() (donated, granted, discarded float64, rounds int64) {
+	return b.donatedPJ, b.grantedPJ, b.discardedPJ, b.rounds
+}
+
+// PolicyRounds returns how many landing rounds used ToOne and ToAll.
+func (b *Balancer) PolicyRounds() (toOne, toAll int64) {
+	return b.toOneRounds, b.toAllRounds
+}
+
+// Tick runs one balancing cycle: land arriving token batches as grants,
+// collect new donations if the chip is over budget, then run the inner
+// technique against the adjusted local budgets.
+func (b *Balancer) Tick(st *budget.ChipState) {
+	b.BalanceOnly(st)
+	b.inner.Tick(st)
+}
+
+// BalanceOnly performs the token-balancing half of a cycle without running
+// the inner controller — used by the clustered configuration, where each
+// cluster balances independently and a single chip-wide inner technique
+// runs afterwards.
+func (b *Balancer) BalanceOnly(st *budget.ChipState) {
+	// PTB hardware overhead: per-core wire drivers plus the balancer logic
+	// (~1% of chip power, measured with XPower in the paper).
+	for i := 0; i < b.n; i++ {
+		st.Meter.Add(st.Cores[i].ID(), power.EvPTBWire, 1)
+	}
+	st.Meter.Add(st.Cores[0].ID(), power.EvPTBLogic, 1)
+
+	b.detector.UpdateMasked(st, b.detectorMask)
+
+	// Donor restrictions are per cycle: clear last cycle's ledger before
+	// landing grants so neediness is judged against this cycle's state.
+	for i := 0; i < b.n; i++ {
+		st.DonatedPJ[i] = 0
+	}
+	b.land(st)
+	b.collect(st)
+}
+
+// land applies token batches whose transfer latency has elapsed.
+func (b *Balancer) land(st *budget.ChipState) {
+	for len(b.flights) > 0 && b.flights[0].arriveAt <= st.Cycle {
+		f := b.flights[0]
+		b.flights = b.flights[1:]
+		b.distribute(st, f.total)
+	}
+}
+
+// distribute grants a landed token batch to the cores currently over their
+// local budget, per the active policy. Undistributed remainder is discarded
+// — tokens are never stored across cycles.
+func (b *Balancer) distribute(st *budget.ChipState, total float64) {
+	if total <= 0 {
+		return
+	}
+	b.rounds++
+	pol := b.policy
+	if pol == PolicyDynamic {
+		pol = b.dynamicPolicy(st)
+	}
+
+	// Per-core grant cap: the receiving wires have the same width.
+	capPJ := st.LocalBudgetPJ[0] // equal split: any index
+	quantum := capPJ / float64(b.wireQuanta)
+	maxGrant := float64(b.wireQuanta) * quantum
+
+	needy := needyCores(st)
+	if len(needy) == 0 {
+		b.discardedPJ += total
+		return
+	}
+
+	granted := 0.0
+	switch pol {
+	case PolicyToOne:
+		b.toOneRounds++
+		// The core that needs tokens the most: largest overshoot.
+		best, bestOver := -1, 0.0
+		for _, i := range needy {
+			over := st.EstPJ[i] - (st.LocalBudgetPJ[i] - st.DonatedPJ[i])
+			if over > bestOver {
+				best, bestOver = i, over
+			}
+		}
+		if best >= 0 {
+			g := min2(total, maxGrant)
+			st.ExtraPJ[best] += g
+			granted = g
+		}
+	default: // PolicyToAll
+		b.toAllRounds++
+		share := total / float64(len(needy))
+		if share > maxGrant {
+			share = maxGrant
+		}
+		for _, i := range needy {
+			st.ExtraPJ[i] += share
+			granted += share
+		}
+	}
+	b.grantedPJ += granted
+	if rest := total - granted; rest > 0 {
+		b.discardedPJ += rest
+	}
+}
+
+// collect gathers spare tokens from under-budget cores when the chip
+// exceeds the global budget, and launches them toward the balancer.
+//
+// Spare tokens are a per-cycle *rate*: every cycle each under-budget core
+// offers that cycle's unused allotment. The donor "sets a more restrictive
+// power budget" (§III.E.2) equal to its local share minus what it donated
+// this cycle — recorded in DonatedPJ for the inner controller — so the
+// chip-wide allowance never exceeds the global budget once the pipeline of
+// token flights reaches steady state.
+func (b *Balancer) collect(st *budget.ChipState) {
+	if !st.ChipOver() {
+		return
+	}
+	quantum := st.LocalBudgetPJ[0] / float64(b.wireQuanta)
+	if quantum <= 0 {
+		return
+	}
+	total := 0.0
+	for i := 0; i < b.n; i++ {
+		avail := st.LocalBudgetPJ[i] - st.EstPJ[i]
+		if avail <= 0 {
+			continue
+		}
+		q := int(avail / quantum)
+		if q <= 0 {
+			continue
+		}
+		if q > b.wireQuanta {
+			q = b.wireQuanta
+		}
+		d := float64(q) * quantum
+		st.DonatedPJ[i] = d // this cycle's tighter budget for the donor
+		total += d
+	}
+	if total <= 0 {
+		return
+	}
+	b.donatedPJ += total
+	b.flights = append(b.flights, flight{
+		arriveAt: st.Cycle + b.lat.Total(),
+		total:    total,
+	})
+}
+
+// dynamicPolicy implements the §IV.B selector: lock spinning anywhere on
+// the chip favors ToOne (boost the critical-section holder); otherwise
+// barrier spinning (or no spinning) favors ToAll.
+func (b *Balancer) dynamicPolicy(st *budget.ChipState) Policy {
+	if st.Sync == nil {
+		return PolicyToAll
+	}
+	lockSpin, _, _ := st.Sync.SpinBreakdown()
+	if lockSpin > 0 {
+		return PolicyToOne
+	}
+	return PolicyToAll
+}
+
+// needyCores lists the cores above their donation-adjusted local budget.
+func needyCores(st *budget.ChipState) []int {
+	var out []int
+	for i := 0; i < st.NCores; i++ {
+		if st.EstPJ[i] > st.LocalBudgetPJ[i]-st.DonatedPJ[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

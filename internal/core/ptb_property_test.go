@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/budget"
+)
+
+// TestPropertyTokenConservation drives the balancer with random power
+// vectors and checks the paper's conservation invariants on every cycle:
+//
+//  1. grants are never created from nothing: at every cycle the cumulative
+//     granted+discarded tokens never exceed the cumulative donated tokens
+//     (tokens in flight are non-negative);
+//  2. a core never donates more than its spare (local − est);
+//  3. grants only go to cores over their donation-adjusted local budget;
+//  4. the chip allowance only ever exceeds the global budget by tokens
+//     that donors already paid for: Σ extra ≤ tokens landed this cycle,
+//     which invariant 1 bounds by earlier donations.
+func TestPropertyTokenConservation(t *testing.T) {
+	f := func(raw []uint16, policyPick uint8) bool {
+		const n = 4
+		st := newPTBState(n, 4000, nil)
+		pol := []Policy{PolicyToAll, PolicyToOne}[int(policyPick)%2]
+		b := NewBalancer(n, pol, budget.None{})
+
+		if len(raw) == 0 {
+			return true
+		}
+		prevGranted := 0.0
+		for cyc := int64(1); cyc <= 40; cyc++ {
+			st.Cycle = cyc
+			st.ChipEstPJ = 0
+			for i := 0; i < n; i++ {
+				v := float64(raw[(int(cyc)*n+i)%len(raw)] % 2500)
+				st.EstPJ[i] = v
+				st.ChipEstPJ += v
+				st.ExtraPJ[i] = 0
+			}
+			b.Tick(st)
+			donated, granted, discarded, _ := b.Stats()
+
+			// Invariant 1: in-flight tokens are non-negative.
+			if granted+discarded > donated+1e-6 {
+				return false
+			}
+			// Invariant 2: donation bounded by spare (only donors checked;
+			// non-donors trivially have DonatedPJ == 0).
+			for i := 0; i < n; i++ {
+				if st.DonatedPJ[i] > 0 &&
+					st.DonatedPJ[i] > st.LocalBudgetPJ[i]-st.EstPJ[i]+1e-9 {
+					return false
+				}
+			}
+			// Invariant 3: grants only to needy cores.
+			sumExtra := 0.0
+			for i := 0; i < n; i++ {
+				sumExtra += st.ExtraPJ[i]
+				if st.ExtraPJ[i] > 0 &&
+					st.EstPJ[i] <= st.LocalBudgetPJ[i]-st.DonatedPJ[i] {
+					return false
+				}
+			}
+			// Invariant 4: this cycle's grants match the balancer's own
+			// granted accounting — nothing appears outside the ledger.
+			if sumExtra > granted-prevGranted+1e-6 {
+				return false
+			}
+			prevGranted = granted
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDetectorNeverFlagsHotCores: a core whose estimate stays above
+// its budget share can never be classified as spinning, whatever the noise.
+func TestPropertyDetectorNeverFlagsHotCores(t *testing.T) {
+	f := func(noise []uint8) bool {
+		if len(noise) == 0 {
+			return true
+		}
+		st := newPTBState(1, 1000, nil)
+		d := NewPowerPatternDetector(1)
+		for cyc := 0; cyc < 3000; cyc++ {
+			// Always at or above the 1000 budget share.
+			st.EstPJ[0] = 1000 + float64(noise[cyc%len(noise)])
+			d.Update(st)
+			if d.Spinning(0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

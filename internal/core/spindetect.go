@@ -1,0 +1,96 @@
+package core
+
+import "ptbsim/internal/budget"
+
+// PowerPatternDetector implements the paper's indirect spinning detection
+// (§III.E.1, Fig. 6): when a core enters a spinning state its per-cycle
+// power, after the initial peak of useful computation, "lowers and
+// stabilizes to an amount that is usually under the budget". The detector
+// tracks an exponential moving average and deviation of each core's
+// token-estimated power; a core whose power has been low *and* stable for
+// long enough is flagged as (presumably) spinning — no instruction
+// inspection, no performance counters, just power patterns.
+type PowerPatternDetector struct {
+	n    int
+	mean []float64
+	dev  []float64
+	run  []int64 // consecutive qualifying cycles
+
+	// Tunables.
+	alpha      float64 // EWMA weight
+	lowFrac    float64 // "low" = below lowFrac × local budget
+	stableFrac float64 // "stable" = deviation below stableFrac × mean
+	minCycles  int64   // cycles the pattern must persist
+
+	flagged []bool
+	// transitions counts spin-state entries (for tests/stats).
+	transitions int64
+}
+
+// Detector defaults: a spinning core's loop body consumes well under half
+// its budget share (Fig. 4 measures ~10% of peak) and is extremely regular.
+const (
+	defaultAlpha      = 0.05
+	defaultLowFrac    = 0.55
+	defaultStableFrac = 0.30
+	defaultMinCycles  = 150
+)
+
+// NewPowerPatternDetector creates a detector for n cores.
+func NewPowerPatternDetector(n int) *PowerPatternDetector {
+	return &PowerPatternDetector{
+		n:          n,
+		mean:       make([]float64, n),
+		dev:        make([]float64, n),
+		run:        make([]int64, n),
+		alpha:      defaultAlpha,
+		lowFrac:    defaultLowFrac,
+		stableFrac: defaultStableFrac,
+		minCycles:  defaultMinCycles,
+		flagged:    make([]bool, n),
+	}
+}
+
+// Update feeds one cycle of per-core power estimates.
+func (d *PowerPatternDetector) Update(st *budget.ChipState) {
+	d.UpdateMasked(st, nil)
+}
+
+// UpdateMasked feeds one cycle of estimates, skipping cores whose mask
+// entry is true. The spin-gating extension masks sleep-gated cycles:
+// a frozen core's near-zero power would otherwise keep it flagged as
+// spinning forever, even after it acquired the lock.
+func (d *PowerPatternDetector) UpdateMasked(st *budget.ChipState, skip []bool) {
+	for i := 0; i < d.n; i++ {
+		if skip != nil && skip[i] {
+			continue
+		}
+		x := st.EstPJ[i]
+		d.mean[i] += d.alpha * (x - d.mean[i])
+		ad := x - d.mean[i]
+		if ad < 0 {
+			ad = -ad
+		}
+		d.dev[i] += d.alpha * (ad - d.dev[i])
+
+		low := d.mean[i] < d.lowFrac*st.LocalBudgetPJ[i]
+		stable := d.dev[i] < d.stableFrac*d.mean[i]
+		if low && stable {
+			d.run[i]++
+		} else {
+			d.run[i] = 0
+		}
+		was := d.flagged[i]
+		d.flagged[i] = d.run[i] >= d.minCycles
+		if d.flagged[i] && !was {
+			d.transitions++
+		}
+	}
+}
+
+// Spinning reports whether the detector currently believes core i is
+// spinning.
+func (d *PowerPatternDetector) Spinning(i int) bool { return d.flagged[i] }
+
+// SpinEntries returns how many spin-state entries were detected.
+func (d *PowerPatternDetector) SpinEntries() int64 { return d.transitions }

@@ -1,0 +1,86 @@
+package cpu
+
+import "ptbsim/internal/power"
+
+// gshare is the branch predictor of Table 1: a 64KB gshare with 16 bits of
+// global history (2^16 two-bit saturating counters plus the history
+// register).
+type gshare struct {
+	counters []uint8
+	history  uint64
+	bits     uint
+	mask     uint64
+
+	meter *power.Meter
+	core  int
+
+	lookups, correct int64
+}
+
+func newGshare(bits uint, meter *power.Meter, core int) *gshare {
+	g := &gshare{
+		counters: make([]uint8, 1<<bits),
+		bits:     bits,
+		mask:     (1 << bits) - 1,
+		meter:    meter,
+		core:     core,
+	}
+	// Initialize to weakly taken: loop branches train instantly.
+	for i := range g.counters {
+		g.counters[i] = 2
+	}
+	return g
+}
+
+func (g *gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// predict returns the prediction for the branch at pc and charges the
+// lookup energy.
+func (g *gshare) predict(pc uint64) bool {
+	if g.meter != nil {
+		g.meter.Add(g.core, power.EvBpred, 1)
+	}
+	g.lookups++
+	return g.counters[g.index(pc)] >= 2
+}
+
+// update trains the predictor with the actual outcome and shifts the
+// history. The simulator resolves predictions at fetch (the correct-path
+// stream is known), so history is always the true history — equivalent to a
+// machine with perfect history repair on misprediction.
+func (g *gshare) update(pc uint64, taken, predicted bool) {
+	if g.meter != nil {
+		g.meter.Add(g.core, power.EvBpred, 1)
+	}
+	if taken == predicted {
+		g.correct++
+	}
+	i := g.index(pc)
+	c := g.counters[i]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	g.counters[i] = c
+	g.history = ((g.history << 1) | b2u(taken)) & g.mask
+}
+
+// Accuracy returns the fraction of correct predictions so far.
+func (g *gshare) Accuracy() float64 {
+	if g.lookups == 0 {
+		return 1
+	}
+	return float64(g.correct) / float64(g.lookups)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

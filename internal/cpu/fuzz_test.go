@@ -1,0 +1,133 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/isa"
+	"ptbsim/internal/power"
+	"ptbsim/internal/xrand"
+)
+
+// randomProgram synthesizes an arbitrary (but well-formed) instruction
+// stream: random ops, dependencies, branch outcomes, memory addresses and
+// serialize points.
+func randomProgram(seed uint64, n int) []isa.Inst {
+	rng := xrand.New(seed)
+	ops := []isa.Op{isa.OpIntAlu, isa.OpIntMul, isa.OpFPAlu, isa.OpFPMul,
+		isa.OpLoad, isa.OpStore, isa.OpBranch, isa.OpAtomicRMW}
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		op := ops[rng.Intn(len(ops))]
+		inst := isa.Inst{
+			PC:   uint64(0x1000 + (rng.Intn(512))*4),
+			Op:   op,
+			Dep1: uint16(rng.Intn(12)),
+			Dep2: uint16(rng.Intn(20)),
+		}
+		switch op {
+		case isa.OpLoad, isa.OpStore:
+			inst.Addr = uint64(0x100000 + rng.Intn(1<<16))
+		case isa.OpBranch:
+			inst.Taken = rng.Bool(0.6)
+		case isa.OpAtomicRMW:
+			inst.Addr = uint64(0x200000 + rng.Intn(256)*64)
+			inst.Serialize = true
+			inst.SyncOp = isa.SyncLockTry
+		}
+		if rng.Bool(0.1) {
+			inst.LongLat = true
+		}
+		// Occasional serializing spin loads.
+		if op == isa.OpLoad && rng.Bool(0.05) {
+			inst.Serialize = true
+			inst.SyncOp = isa.SyncSpinLock
+		}
+		insts[i] = inst
+	}
+	return insts
+}
+
+// TestFuzzRandomProgramsComplete pushes random programs through the core
+// with varying memory latencies and knob settings; every program must
+// retire completely with bounded structures.
+func TestFuzzRandomProgramsComplete(t *testing.T) {
+	f := func(seed uint64, latPick, knobPick uint8) bool {
+		prog := randomProgram(seed, 600)
+		q := &eventq.Queue{}
+		mem := &fakeMem{q: q, loadLat: int64(1 + latPick%60), storeLat: int64(1 + latPick%30), icached: true}
+		src := &sliceSource{insts: prog}
+		m := power.NewMeter(1)
+		c := New(0, DefaultConfig(), m, power.NewTokenModel(), mem, fixedSync{1}, src)
+
+		switch knobPick % 4 {
+		case 1:
+			c.Knobs().FetchWidth = 2
+		case 2:
+			c.Knobs().IssueWidth = 1
+			c.Knobs().DecodeWidth = 2
+		case 3:
+			c.SetSpeed(0.65, 10)
+		}
+
+		for cyc := int64(1); cyc <= 600_000; cyc++ {
+			q.RunUntil(cyc)
+			c.Tick()
+			if c.count > DefaultConfig().ROBSize || c.lsqCount > DefaultConfig().LSQSize {
+				return false
+			}
+			if c.Done() {
+				return c.Stats().Committed == 600
+			}
+		}
+		return false // did not finish: livelock/deadlock
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzKnobFlipping randomly toggles throttles and frequency mid-run;
+// the program must still complete exactly.
+func TestFuzzKnobFlipping(t *testing.T) {
+	f := func(seed uint64) bool {
+		prog := randomProgram(seed^0xDEADBEEF, 400)
+		q := &eventq.Queue{}
+		mem := &fakeMem{q: q, loadLat: 8, storeLat: 4, icached: true}
+		src := &sliceSource{insts: prog}
+		m := power.NewMeter(1)
+		c := New(0, DefaultConfig(), m, power.NewTokenModel(), mem, fixedSync{1}, src)
+		rng := xrand.New(seed)
+		freqs := []float64{1.0, 0.95, 0.9, 0.75, 0.65}
+		for cyc := int64(1); cyc <= 800_000; cyc++ {
+			q.RunUntil(cyc)
+			if cyc%64 == 0 {
+				k := c.Knobs()
+				*k = Knobs{}
+				switch rng.Intn(5) {
+				case 1:
+					k.FetchGate = true
+				case 2:
+					k.FetchWidth = 1 + rng.Intn(4)
+				case 3:
+					k.IssueWidth = 1 + rng.Intn(4)
+				case 4:
+					c.SetSpeed(freqs[rng.Intn(len(freqs))], 5)
+				}
+				// Never leave the core gated forever.
+				if cyc%1024 == 0 {
+					*k = Knobs{}
+				}
+			}
+			c.Tick()
+			if c.Done() {
+				return c.Stats().Committed == 400
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package dvfs implements the paper's coarse-grained voltage/frequency
+// controllers (§III.C): the five-mode DVFS ladder, the frequency-only DFS
+// ladder, and a per-core window-based governor that walks a core up and
+// down its ladder to converge on a local power budget.
+//
+// Transition timing follows the paper's best-case assumption for DVFS
+// (Kim-style on-chip regulators, 30–50 mV/ns): a mode switch costs a few
+// cycles of stall, set by TransitionTicks.
+package dvfs
+
+// Mode is one (relative voltage, relative frequency) operating point.
+type Mode struct {
+	V float64
+	F float64
+}
+
+// DVFSModes is the paper's ladder: (100%,100%), (95%,95%), (90%,90%),
+// (90%,75%), (90%,65%).
+func DVFSModes() []Mode {
+	return []Mode{{1.00, 1.00}, {0.95, 0.95}, {0.90, 0.90}, {0.90, 0.75}, {0.90, 0.65}}
+}
+
+// DFSModes scales only frequency; VDD stays at 100%.
+func DFSModes() []Mode {
+	return []Mode{{1.00, 1.00}, {1.00, 0.95}, {1.00, 0.90}, {1.00, 0.75}, {1.00, 0.65}}
+}
+
+// DefaultTransitionTicks is the stall charged on a mode change (fast
+// on-chip regulator; a slower off-chip regulator would be hundreds of
+// cycles and would only favor the fine-grained techniques, as the paper
+// notes).
+const DefaultTransitionTicks = 30
+
+// DefaultWindow is the observation window, in cycles, between governor
+// decisions. DVFS cannot react per cycle — this window is exactly the
+// "long exploration and use windows" limitation the paper discusses: the
+// window must be long enough to amortize mode-transition overheads, which
+// leaves DVFS blind to the sub-window spikes the fine-grained techniques
+// (and PTB) catch.
+const DefaultWindow = 2048
+
+// Governor picks, each window, the fastest mode whose predicted power fits
+// a core's local budget. This is the performance-first policy of the
+// DVFS literature the paper compares against ([1][19]-style: maximize
+// throughput under the constraint): the core hugs the budget from below
+// and steps straight back to full speed the moment the constraint lifts.
+// The consequence — faithfully reproduced — is that power spikes shorter
+// than the decision window leak over the budget, which is why DVFS's AoPB
+// stays high while fine-grained techniques track the line.
+type Governor struct {
+	modes []Mode
+	idx   []int
+
+	transitions int64
+}
+
+// NewGovernor creates a governor for n cores on the given ladder.
+func NewGovernor(n int, modes []Mode) *Governor {
+	return &Governor{
+		modes: modes,
+		idx:   make([]int, n),
+	}
+}
+
+// Mode returns a core's current operating point.
+func (g *Governor) Mode(core int) Mode { return g.modes[g.idx[core]] }
+
+// ModeIndex returns the core's position on the ladder (0 = fastest).
+func (g *Governor) ModeIndex(core int) int { return g.idx[core] }
+
+// Transitions returns the total number of mode changes decided.
+func (g *Governor) Transitions() int64 { return g.transitions }
+
+// dynScale is the dynamic-power scale of a mode (V²·f).
+func dynScale(m Mode) float64 { return m.V * m.V * m.F }
+
+// Decide updates a core's mode from its window-averaged power estimate
+// (measured at the current mode). Power-saving modes engage only when the
+// chip as a whole exceeds the global budget AND the core exceeds its
+// (effective) local budget — the paper's two activation conditions
+// (§III.C); otherwise the core returns to full speed. It returns the new
+// mode and whether it changed.
+func (g *Governor) Decide(core int, avgEstPJ, localBudgetPJ float64, chipOver bool) (Mode, bool) {
+	cur := g.idx[core]
+	target := 0
+	if chipOver && localBudgetPJ > 0 {
+		// Normalize the measurement to nominal, then pick the fastest mode
+		// predicted to fit the local budget with a small safety margin
+		// (sub-window spikes ride on top of the average).
+		nominal := avgEstPJ / dynScale(g.modes[cur])
+		target = len(g.modes) - 1
+		for i := range g.modes {
+			if nominal*dynScale(g.modes[i]) <= 0.93*localBudgetPJ {
+				target = i
+				break
+			}
+		}
+	}
+	if target == cur {
+		return g.modes[cur], false
+	}
+	g.idx[core] = target
+	g.transitions++
+	return g.modes[target], true
+}

@@ -1,0 +1,95 @@
+package dvfs
+
+import "testing"
+
+func TestLaddersMatchPaper(t *testing.T) {
+	dv := DVFSModes()
+	want := []Mode{{1, 1}, {0.95, 0.95}, {0.90, 0.90}, {0.90, 0.75}, {0.90, 0.65}}
+	if len(dv) != len(want) {
+		t.Fatalf("DVFS ladder has %d modes", len(dv))
+	}
+	for i := range want {
+		if dv[i] != want[i] {
+			t.Fatalf("mode %d = %+v, want %+v", i, dv[i], want[i])
+		}
+	}
+	for i, m := range DFSModes() {
+		if m.V != 1 {
+			t.Fatalf("DFS mode %d scales voltage", i)
+		}
+		if m.F != dv[i].F {
+			t.Fatalf("DFS mode %d frequency %v != DVFS %v", i, m.F, dv[i].F)
+		}
+	}
+}
+
+func TestGovernorPicksBottomForHugeOverage(t *testing.T) {
+	g := NewGovernor(1, DVFSModes())
+	// 2000 pJ against a 1000 budget: even the bottom mode
+	// (0.9²·0.65 ≈ 0.53 scale → 1053) exceeds the budget, so the governor
+	// parks at the bottom of the ladder.
+	g.Decide(0, 2000, 1000, true)
+	if g.ModeIndex(0) != len(DVFSModes())-1 {
+		t.Fatalf("governor at %d, want bottom of ladder", g.ModeIndex(0))
+	}
+	// Saturates at the bottom.
+	if _, changed := g.Decide(0, 1053, 1000, true); changed {
+		t.Fatal("changed past the bottom mode")
+	}
+}
+
+func TestGovernorPicksFastestFittingMode(t *testing.T) {
+	g := NewGovernor(1, DVFSModes())
+	// 1200 pJ at nominal against 1000: mode 1 (0.857 scale → 1029) still
+	// exceeds, mode 2 (0.729 → 875) fits.
+	g.Decide(0, 1200, 1000, true)
+	if g.ModeIndex(0) != 2 {
+		t.Fatalf("governor chose mode %d, want 2", g.ModeIndex(0))
+	}
+}
+
+func TestGovernorRequiresChipOver(t *testing.T) {
+	g := NewGovernor(1, DVFSModes())
+	if _, changed := g.Decide(0, 2000, 1000, false); changed {
+		t.Fatal("stepped down while the chip was under the global budget")
+	}
+}
+
+func TestGovernorReturnsToFullSpeed(t *testing.T) {
+	g := NewGovernor(1, DVFSModes())
+	g.Decide(0, 2000, 1000, true)
+	if g.ModeIndex(0) == 0 {
+		t.Fatal("precondition: should have scaled down")
+	}
+	// Constraint lifted: performance-first policy snaps back to mode 0.
+	if _, changed := g.Decide(0, 500, 1000, false); !changed {
+		t.Fatal("did not return to full speed")
+	}
+	if g.ModeIndex(0) != 0 {
+		t.Fatalf("mode %d, want 0", g.ModeIndex(0))
+	}
+	if g.Transitions() != 2 {
+		t.Fatalf("transitions = %d, want 2", g.Transitions())
+	}
+}
+
+func TestGovernorNormalizesCurrentMode(t *testing.T) {
+	g := NewGovernor(1, DVFSModes())
+	// Park at the bottom first.
+	g.Decide(0, 5000, 1000, true)
+	bottom := g.ModeIndex(0)
+	// Measured 450 at the bottom mode (scale ~0.527) = ~855 nominal, under
+	// the 0.93×1000 margin: full speed fits again.
+	g.Decide(0, 450, 1000, true)
+	if g.ModeIndex(0) != 0 {
+		t.Fatalf("mode %d after normalization, want 0 (was %d)", g.ModeIndex(0), bottom)
+	}
+}
+
+func TestPerCoreIndependence(t *testing.T) {
+	g := NewGovernor(2, DVFSModes())
+	g.Decide(0, 2000, 1000, true)
+	if g.ModeIndex(1) != 0 {
+		t.Fatal("core 1's mode changed by core 0's decision")
+	}
+}

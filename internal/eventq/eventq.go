@@ -1,0 +1,91 @@
+// Package eventq provides the discrete-event scheduler used by the uncore
+// (caches, directory, mesh, memory). Cores are stepped every cycle, but
+// uncore activity is sparse, so an event heap keeps long-latency messages
+// cheap to simulate.
+//
+// Events scheduled for the same cycle run in FIFO order of scheduling, which
+// keeps the simulation deterministic regardless of heap internals.
+package eventq
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a simulation cycle.
+type Event struct {
+	cycle int64
+	seq   uint64
+	fn    func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic discrete-event queue. The zero value is ready to
+// use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+	now int64
+}
+
+// Now returns the cycle most recently passed to RunUntil (the current
+// simulation time from the queue's perspective).
+func (q *Queue) Now() int64 { return q.now }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the past
+// (before the last RunUntil cycle) runs the event at the current cycle
+// instead; this can only happen through a zero/negative delay and is safe.
+func (q *Queue) At(cycle int64, fn func()) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles after the current cycle.
+func (q *Queue) After(delay int64, fn func()) {
+	q.At(q.now+delay, fn)
+}
+
+// RunUntil executes, in order, every event scheduled at or before cycle.
+// Events may schedule further events; those run too if they fall within the
+// window. While an event executes, Now reports that event's cycle, so
+// relative scheduling (After) from inside a handler is anchored correctly.
+func (q *Queue) RunUntil(cycle int64) {
+	if cycle < q.now {
+		return
+	}
+	for len(q.h) > 0 && q.h[0].cycle <= cycle {
+		e := heap.Pop(&q.h).(*Event)
+		q.now = e.cycle
+		e.fn()
+	}
+	q.now = cycle
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Empty reports whether no events are pending.
+func (q *Queue) Empty() bool { return len(q.h) == 0 }

@@ -1,0 +1,147 @@
+package eventq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOWithinCycle(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(5, func() { got = append(got, i) })
+	}
+	q.RunUntil(5)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("events at same cycle ran out of order: %v", got)
+		}
+	}
+}
+
+func TestOrderingAcrossCycles(t *testing.T) {
+	var q Queue
+	var got []int64
+	for _, c := range []int64{9, 3, 7, 1, 5} {
+		c := c
+		q.At(c, func() { got = append(got, c) })
+	}
+	q.RunUntil(10)
+	want := []int64{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	var q Queue
+	ran := false
+	q.At(10, func() { ran = true })
+	q.RunUntil(9)
+	if ran {
+		t.Fatal("event at cycle 10 ran during RunUntil(9)")
+	}
+	q.RunUntil(10)
+	if !ran {
+		t.Fatal("event at cycle 10 did not run during RunUntil(10)")
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	var q Queue
+	var trace []string
+	q.At(1, func() {
+		trace = append(trace, "a")
+		q.After(2, func() { trace = append(trace, "b") })
+	})
+	q.RunUntil(5)
+	if len(trace) != 2 || trace[0] != "a" || trace[1] != "b" {
+		t.Fatalf("cascade trace %v", trace)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	var q Queue
+	q.RunUntil(100)
+	ran := false
+	q.At(50, func() { ran = true })
+	q.RunUntil(100)
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestAfterUsesNow(t *testing.T) {
+	var q Queue
+	q.RunUntil(10)
+	var at int64 = -1
+	q.After(5, func() { at = q.Now() })
+	q.RunUntil(15)
+	if at != 15 {
+		t.Fatalf("After(5) from cycle 10 ran at %d, want 15", at)
+	}
+}
+
+func TestLenEmpty(t *testing.T) {
+	var q Queue
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.At(1, func() {})
+	if q.Empty() || q.Len() != 1 {
+		t.Fatal("queue with one event reports empty")
+	}
+	q.RunUntil(1)
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestPropertyAllEventsRunInOrder(t *testing.T) {
+	f := func(cycles []uint8) bool {
+		var q Queue
+		var got []int64
+		for _, c := range cycles {
+			c := int64(c)
+			q.At(c, func() { got = append(got, c) })
+		}
+		q.RunUntil(256)
+		if len(got) != len(cycles) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNowDuringEventExecution(t *testing.T) {
+	var q Queue
+	var sawNow int64 = -1
+	q.At(7, func() { sawNow = q.Now() })
+	q.RunUntil(50)
+	if sawNow != 7 {
+		t.Fatalf("Now() inside handler = %d, want the event's cycle 7", sawNow)
+	}
+	if q.Now() != 50 {
+		t.Fatalf("Now() after RunUntil = %d, want 50", q.Now())
+	}
+}
+
+func TestRunUntilNeverRewinds(t *testing.T) {
+	var q Queue
+	q.RunUntil(100)
+	q.RunUntil(50) // must be a no-op
+	if q.Now() != 100 {
+		t.Fatalf("clock rewound to %d", q.Now())
+	}
+}

@@ -1,0 +1,196 @@
+// Package isa defines the instruction abstraction executed by the simulated
+// out-of-order cores. Instructions are produced by the reactive workload
+// generators (package workload) and consumed by the pipeline model (package
+// cpu).
+//
+// The ISA is deliberately minimal: what the PTB study needs from an
+// instruction is (a) which functional unit class it occupies and for how
+// long, (b) whether and where it touches memory, (c) whether it is a branch
+// and whether that branch is taken, and (d) data dependencies that throttle
+// ILP. Architectural register semantics are abstracted into explicit
+// dependency distances, which is sufficient to drive a realistic issue/wakeup
+// model.
+package isa
+
+import "fmt"
+
+// Op enumerates instruction classes. The classes mirror the functional-unit
+// mix of the simulated core (Table 1 of the paper): integer ALU, integer
+// multiply, FP ALU, FP multiply, loads, stores, branches, and the atomic
+// read-modify-write used to build locks and barriers.
+type Op uint8
+
+const (
+	// OpNop is an empty slot; cores never fetch it from workloads but the
+	// zero value must be harmless.
+	OpNop Op = iota
+	// OpIntAlu is a single-cycle integer operation.
+	OpIntAlu
+	// OpIntMul is a pipelined integer multiply.
+	OpIntMul
+	// OpFPAlu is a pipelined floating-point add/sub/convert.
+	OpFPAlu
+	// OpFPMul is a pipelined floating-point multiply/divide (divides are
+	// modeled with a longer latency flag on the instruction).
+	OpFPMul
+	// OpLoad reads memory through the L1D.
+	OpLoad
+	// OpStore writes memory through the L1D at commit.
+	OpStore
+	// OpBranch is a conditional branch predicted by the gshare predictor.
+	OpBranch
+	// OpAtomicRMW is an atomic read-modify-write (test-and-set /
+	// fetch-and-increment) used by locks and barriers. It occupies the load
+	// path, requires exclusive coherence ownership, and is not speculated
+	// past.
+	OpAtomicRMW
+
+	numOps
+)
+
+// NumOps is the number of distinct instruction classes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	OpNop:       "nop",
+	OpIntAlu:    "ialu",
+	OpIntMul:    "imul",
+	OpFPAlu:     "falu",
+	OpFPMul:     "fmul",
+	OpLoad:      "load",
+	OpStore:     "store",
+	OpBranch:    "branch",
+	OpAtomicRMW: "rmw",
+}
+
+// String returns the mnemonic for the op.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op accesses data memory.
+func (o Op) IsMem() bool {
+	return o == OpLoad || o == OpStore || o == OpAtomicRMW
+}
+
+// Inst is one dynamic instruction. Instructions are values, not pointers:
+// the pipeline copies them into its ROB entries.
+type Inst struct {
+	// PC is the (synthetic) program counter. PCs identify static
+	// instructions for the branch predictor and the Power-Token History
+	// Table; workload generators assign stable PCs to static program points
+	// so that history mechanisms see realistic locality.
+	PC uint64
+
+	// Op is the instruction class.
+	Op Op
+
+	// Addr is the byte address touched by memory operations (aligned to the
+	// access size by the generator). Zero for non-memory ops.
+	Addr uint64
+
+	// Taken is the actual outcome for OpBranch.
+	Taken bool
+
+	// Dep1 and Dep2 are data-dependency distances: this instruction reads
+	// the results of the instructions Dep1 and Dep2 positions earlier in
+	// program order (0 means no dependency). Distances larger than the ROB
+	// size behave as satisfied dependencies.
+	Dep1, Dep2 uint16
+
+	// LongLat marks a long-latency variant of the op class (e.g. FP divide
+	// on the FPMul unit).
+	LongLat bool
+
+	// SyncClass tags the synchronization context this instruction executes
+	// in. It is bookkeeping for the time-breakdown metric (Fig. 3) and for
+	// the application-assisted dynamic policy selector (§IV.B); the pipeline
+	// itself does not act on it.
+	SyncClass SyncClass
+
+	// Serialize stalls fetch after this instruction until it commits. The
+	// workload generator sets it on instructions whose outcome decides the
+	// subsequent instruction stream (atomics and spin loads); the outcome is
+	// delivered back to the generator through Source.Resolve.
+	Serialize bool
+
+	// SyncOp is the logical synchronization operation evaluated when this
+	// instruction executes (OpAtomicRMW and spin OpLoads). SyncNone for
+	// ordinary instructions.
+	SyncOp SyncOpKind
+
+	// SyncID identifies the lock or barrier the SyncOp targets.
+	SyncID int32
+
+	// SyncArg carries per-op context (the observed barrier generation for
+	// barrier spin loads).
+	SyncArg int64
+}
+
+// SyncOpKind enumerates the logical synchronization operations.
+type SyncOpKind uint8
+
+const (
+	// SyncNone marks ordinary instructions.
+	SyncNone SyncOpKind = iota
+	// SyncLockTry is an atomic test-and-set on a lock; result 1 = acquired.
+	SyncLockTry
+	// SyncUnlock releases a lock.
+	SyncUnlock
+	// SyncBarrierArrive atomically increments a barrier counter; the result
+	// encodes the generation at arrival and whether the arriver was last.
+	SyncBarrierArrive
+	// SyncSpinLock is a spin read of a lock word; result 1 = lock free.
+	SyncSpinLock
+	// SyncSpinBarrier is a spin read of a barrier flag; result 1 = the
+	// generation in SyncArg has completed.
+	SyncSpinBarrier
+)
+
+// SyncClass classifies what program activity an instruction belongs to, for
+// the execution-time breakdown of Fig. 3.
+type SyncClass uint8
+
+const (
+	// SyncBusy is useful computation.
+	SyncBusy SyncClass = iota
+	// SyncLockAcq is spinning/working to acquire a lock.
+	SyncLockAcq
+	// SyncLockRel is releasing a lock.
+	SyncLockRel
+	// SyncBarrier is waiting at a barrier.
+	SyncBarrier
+
+	numSyncClasses
+)
+
+// NumSyncClasses is the number of sync classes.
+const NumSyncClasses = int(numSyncClasses)
+
+var syncNames = [...]string{
+	SyncBusy:    "busy",
+	SyncLockAcq: "lock-acq",
+	SyncLockRel: "lock-rel",
+	SyncBarrier: "barrier",
+}
+
+// String returns the breakdown label used in Fig. 3.
+func (s SyncClass) String() string {
+	if int(s) < len(syncNames) {
+		return syncNames[s]
+	}
+	return fmt.Sprintf("sync(%d)", uint8(s))
+}
+
+// CacheLineSize is the coherence/line granularity in bytes, shared by the
+// whole memory system.
+const CacheLineSize = 64
+
+// LineAddr returns the cache-line address (byte address of the line start)
+// containing addr.
+func LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(CacheLineSize-1)
+}

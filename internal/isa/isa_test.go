@@ -1,0 +1,80 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	want := map[Op]string{
+		OpNop: "nop", OpIntAlu: "ialu", OpIntMul: "imul", OpFPAlu: "falu",
+		OpFPMul: "fmul", OpLoad: "load", OpStore: "store", OpBranch: "branch",
+		OpAtomicRMW: "rmw",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+	if Op(200).String() == "" {
+		t.Fatal("out-of-range op has empty name")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	memOps := map[Op]bool{
+		OpLoad: true, OpStore: true, OpAtomicRMW: true,
+		OpIntAlu: false, OpBranch: false, OpNop: false, OpFPMul: false,
+	}
+	for op, want := range memOps {
+		if op.IsMem() != want {
+			t.Fatalf("%v.IsMem() = %v, want %v", op, op.IsMem(), want)
+		}
+	}
+}
+
+func TestSyncClassStrings(t *testing.T) {
+	want := map[SyncClass]string{
+		SyncBusy: "busy", SyncLockAcq: "lock-acq", SyncLockRel: "lock-rel",
+		SyncBarrier: "barrier",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if NumSyncClasses != 4 {
+		t.Fatalf("NumSyncClasses = %d", NumSyncClasses)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	cases := map[uint64]uint64{
+		0:      0,
+		63:     0,
+		64:     64,
+		65:     64,
+		0x1234: 0x1200,
+	}
+	for addr, want := range cases {
+		if got := LineAddr(addr); got != want {
+			t.Fatalf("LineAddr(%#x) = %#x, want %#x", addr, got, want)
+		}
+	}
+}
+
+func TestLineAddrProperties(t *testing.T) {
+	f := func(addr uint64) bool {
+		l := LineAddr(addr)
+		return l%CacheLineSize == 0 && l <= addr && addr-l < CacheLineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumOps(t *testing.T) {
+	if NumOps != 9 {
+		t.Fatalf("NumOps = %d, want 9", NumOps)
+	}
+}

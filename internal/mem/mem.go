@@ -1,0 +1,62 @@
+// Package mem models main memory: a fixed-latency DRAM (Table 1: 300-cycle
+// memory latency) with a per-bank occupancy model so that bursts of misses
+// queue instead of overlapping perfectly.
+package mem
+
+import (
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/power"
+)
+
+// DefaultLatency is the DRAM access latency in cycles (Table 1).
+const DefaultLatency = 300
+
+// DefaultBankBusy is the cycles a DRAM bank stays busy per access (cycle
+// time), limiting throughput under miss bursts.
+const DefaultBankBusy = 24
+
+// Memory is the DRAM model. One Memory instance serves the whole chip; it is
+// internally split into banks addressed by line address.
+type Memory struct {
+	q       *eventq.Queue
+	meter   *power.Meter
+	latency int64
+	busy    int64
+	// nextFree per bank.
+	nextFree []int64
+	accesses int64
+}
+
+// New creates a memory with the default timing and nBanks banks.
+func New(q *eventq.Queue, meter *power.Meter, nBanks int) *Memory {
+	if nBanks < 1 {
+		nBanks = 1
+	}
+	return &Memory{
+		q:        q,
+		meter:    meter,
+		latency:  DefaultLatency,
+		busy:     DefaultBankBusy,
+		nextFree: make([]int64, nBanks),
+	}
+}
+
+// Access performs a line read or write. done runs when the access completes.
+// The energy is charged to the tile given by chargeTile (the requesting home
+// bank's tile, since memory controllers sit at the mesh edges in our
+// floorplan abstraction).
+func (m *Memory) Access(line uint64, chargeTile int, done func()) {
+	bank := int(line/64) % len(m.nextFree)
+	now := m.q.Now()
+	start := m.nextFree[bank]
+	if start < now {
+		start = now
+	}
+	m.nextFree[bank] = start + m.busy
+	m.accesses++
+	m.meter.Add(chargeTile, power.EvMem, 1)
+	m.q.At(start+m.latency, done)
+}
+
+// Accesses returns the total number of DRAM accesses performed.
+func (m *Memory) Accesses() int64 { return m.accesses }

@@ -1,0 +1,69 @@
+package mem
+
+import (
+	"testing"
+
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/power"
+)
+
+func TestFixedLatency(t *testing.T) {
+	q := &eventq.Queue{}
+	m := New(q, power.NewMeter(1), 2)
+	var done int64 = -1
+	m.Access(0x1000, 0, func() { done = q.Now() })
+	q.RunUntil(1000)
+	if done != DefaultLatency {
+		t.Fatalf("access completed at %d, want %d", done, DefaultLatency)
+	}
+	if m.Accesses() != 1 {
+		t.Fatalf("accesses = %d", m.Accesses())
+	}
+}
+
+func TestBankOccupancySerializes(t *testing.T) {
+	q := &eventq.Queue{}
+	m := New(q, power.NewMeter(1), 1) // single bank
+	var first, second int64
+	m.Access(0x0, 0, func() { first = q.Now() })
+	m.Access(0x40, 0, func() { second = q.Now() })
+	q.RunUntil(10000)
+	if second-first != DefaultBankBusy {
+		t.Fatalf("bank spacing = %d, want %d", second-first, DefaultBankBusy)
+	}
+}
+
+func TestBanksOverlap(t *testing.T) {
+	q := &eventq.Queue{}
+	m := New(q, power.NewMeter(1), 8)
+	times := make([]int64, 0, 2)
+	// Addresses in different banks complete simultaneously.
+	m.Access(0, 0, func() { times = append(times, q.Now()) })
+	m.Access(64, 0, func() { times = append(times, q.Now()) })
+	q.RunUntil(10000)
+	if len(times) != 2 || times[0] != times[1] {
+		t.Fatalf("different banks did not overlap: %v", times)
+	}
+}
+
+func TestEnergyCharged(t *testing.T) {
+	q := &eventq.Queue{}
+	meter := power.NewMeter(2)
+	m := New(q, meter, 2)
+	m.Access(0, 1, func() {})
+	q.RunUntil(1000)
+	if meter.Count(1, power.EvMem) != 1 {
+		t.Fatal("memory energy not charged to the requesting tile")
+	}
+}
+
+func TestZeroBanksClamped(t *testing.T) {
+	q := &eventq.Queue{}
+	m := New(q, power.NewMeter(1), 0)
+	ok := false
+	m.Access(0, 0, func() { ok = true })
+	q.RunUntil(1000)
+	if !ok {
+		t.Fatal("access with clamped bank count failed")
+	}
+}

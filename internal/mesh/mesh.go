@@ -1,0 +1,237 @@
+// Package mesh models the switched 2D-mesh direct network connecting the
+// CMP tiles (paper Table 1: 2D mesh, 4-cycle link latency, 4-byte flits,
+// 1 flit/cycle/link bandwidth).
+//
+// Messages are routed hop by hop with dimension-ordered (XY) routing. Each
+// directed link serializes flits at 1 flit/cycle and then pipelines them
+// across the 4-cycle wire; a 1-cycle router stage is charged per hop. Link
+// contention is modeled by per-link busy tracking, so coherence storms (e.g.
+// lock line ping-pong) slow down realistically.
+package mesh
+
+import (
+	"fmt"
+
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/power"
+)
+
+// Default timing parameters from Table 1.
+const (
+	// DefaultLinkLatency is the pipeline latency of one link in cycles.
+	DefaultLinkLatency = 4
+	// DefaultRouterDelay is the per-hop router traversal latency in cycles.
+	DefaultRouterDelay = 1
+	// FlitBytes is the width of one flit.
+	FlitBytes = 4
+	// HeaderBytes is the protocol header carried by every message.
+	HeaderBytes = 8
+)
+
+// FlitsFor returns the number of flits needed for a message with the given
+// payload size in bytes (header included).
+func FlitsFor(payloadBytes int) int {
+	total := payloadBytes + HeaderBytes
+	return (total + FlitBytes - 1) / FlitBytes
+}
+
+// Handler receives messages delivered to a node.
+type Handler func(payload any)
+
+// Mesh is a W×H mesh of nodes. Node i sits at (i%W, i/W). Each node hosts
+// one core tile (core + L1s + L2 bank + directory slice).
+type Mesh struct {
+	w, h  int
+	q     *eventq.Queue
+	meter *power.Meter
+
+	handlers []Handler
+
+	linkLatency int64
+	routerDelay int64
+
+	// nextFree[l] is the first cycle at which directed link l can accept a
+	// new message's first flit.
+	nextFree []int64
+
+	// Stats.
+	messages int64
+	flitHops int64
+}
+
+// Dims returns the width and height of the mesh for n nodes, preferring the
+// most square exact factorization (2→2x1, 4→2x2, 8→4x2, 16→4x4). If n has no
+// useful factorization (primes), the mesh grows to the smallest near-square
+// grid that fits, leaving the excess coordinates unused.
+func Dims(n int) (w, h int) {
+	if n < 1 {
+		return 1, 1
+	}
+	for h = isqrt(n); h >= 1; h-- {
+		if n%h == 0 {
+			w = n / h
+			// Degenerate 1×n strips are worse than a near-square grid with
+			// an unused corner once n is large.
+			if h > 1 || n <= 3 {
+				return w, h
+			}
+			break
+		}
+	}
+	w, h = 1, 1
+	for w*h < n {
+		if w <= h {
+			w++
+		} else {
+			h++
+		}
+	}
+	return w, h
+}
+
+// isqrt returns the integer square root of n.
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// New creates a mesh for n nodes using the default Table-1 timing. Handlers
+// must be registered with SetHandler before any message arrives.
+func New(n int, q *eventq.Queue, meter *power.Meter) *Mesh {
+	w, h := Dims(n)
+	m := &Mesh{
+		w: w, h: h,
+		q:           q,
+		meter:       meter,
+		handlers:    make([]Handler, n),
+		linkLatency: DefaultLinkLatency,
+		routerDelay: DefaultRouterDelay,
+		// 4 directed links per node is an over-allocation for edge nodes;
+		// unused entries stay at zero and are never referenced.
+		nextFree: make([]int64, w*h*4),
+	}
+	return m
+}
+
+// SetHandler registers the message handler for node.
+func (m *Mesh) SetHandler(node int, h Handler) { m.handlers[node] = h }
+
+// NumNodes returns the number of addressable nodes (w×h; callers with fewer
+// tiles simply do not use the excess coordinates).
+func (m *Mesh) NumNodes() int { return m.w * m.h }
+
+// direction indexes into the per-node link array.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+func (m *Mesh) linkIndex(node, dir int) int { return node*4 + dir }
+
+// nextHop returns the neighbor node and link direction for XY routing from
+// cur toward dst.
+func (m *Mesh) nextHop(cur, dst int) (next, dir int) {
+	cx, cy := cur%m.w, cur/m.w
+	dx, dy := dst%m.w, dst/m.w
+	switch {
+	case cx < dx:
+		return cur + 1, dirEast
+	case cx > dx:
+		return cur - 1, dirWest
+	case cy < dy:
+		return cur + m.w, dirSouth
+	case cy > dy:
+		return cur - m.w, dirNorth
+	}
+	panic("mesh: nextHop called with cur == dst")
+}
+
+// HopCount returns the Manhattan distance between two nodes.
+func (m *Mesh) HopCount(a, b int) int {
+	ax, ay := a%m.w, a/m.w
+	bx, by := b%m.w, b/m.w
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Send injects a message of the given flit count at src, to be delivered to
+// dst's handler after routing. Local (src==dst) messages pay only the router
+// delay. The payload is handed to the destination handler untouched.
+func (m *Mesh) Send(src, dst, flits int, payload any) {
+	if m.handlers[dst] == nil {
+		panic(fmt.Sprintf("mesh: no handler registered for node %d", dst))
+	}
+	m.messages++
+	if src == dst {
+		m.q.After(m.routerDelay, func() { m.handlers[dst](payload) })
+		return
+	}
+	m.hop(src, dst, flits, payload)
+}
+
+// hop advances the message one link toward dst, modeling serialization and
+// link contention, then either recurses or delivers.
+func (m *Mesh) hop(cur, dst, flits int, payload any) {
+	next, dir := m.nextHop(cur, dst)
+	li := m.linkIndex(cur, dir)
+	now := m.q.Now()
+	start := m.nextFree[li]
+	if start < now {
+		start = now
+	}
+	// The link is busy until the last flit has been injected.
+	m.nextFree[li] = start + int64(flits)
+	arrive := start + int64(flits) + m.linkLatency + m.routerDelay
+
+	// Charge energy at the source tile of the link: flits crossing the link
+	// plus the router traversal at the receiving node.
+	m.meter.Add(m.tileFor(cur), power.EvNoCLink, flits)
+	m.meter.Add(m.tileFor(next), power.EvNoCRouter, flits)
+	m.flitHops += int64(flits)
+
+	m.q.At(arrive, func() {
+		if next == dst {
+			m.handlers[dst](payload)
+		} else {
+			m.hop(next, dst, flits, payload)
+		}
+	})
+}
+
+// tileFor maps a node to the core index charged for its energy. Nodes and
+// cores are 1:1 up to the meter's range; coordinates beyond the core count
+// (non-square meshes with unused corners never route through, but guard
+// anyway) are clamped.
+func (m *Mesh) tileFor(node int) int {
+	if node >= m.meter.NumCores() {
+		return m.meter.NumCores() - 1
+	}
+	return node
+}
+
+// Messages returns the number of messages injected.
+func (m *Mesh) Messages() int64 { return m.messages }
+
+// FlitHops returns the total number of flit-link traversals.
+func (m *Mesh) FlitHops() int64 { return m.flitHops }
+
+// UncontendedLatency returns the delivery latency of a message of the given
+// flit count between two nodes on an idle mesh, for tests and documentation.
+func (m *Mesh) UncontendedLatency(a, b, flits int) int64 {
+	hops := int64(m.HopCount(a, b))
+	if hops == 0 {
+		return m.routerDelay
+	}
+	return hops * (int64(flits) + m.linkLatency + m.routerDelay)
+}

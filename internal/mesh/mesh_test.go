@@ -1,0 +1,215 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/power"
+)
+
+func newTestMesh(n int) (*Mesh, *eventq.Queue) {
+	q := &eventq.Queue{}
+	m := New(n, q, power.NewMeter(n))
+	return m, q
+}
+
+func TestDims(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 2: {2, 1}, 4: {2, 2}, 8: {3, 3}, 16: {4, 4},
+	}
+	for n, want := range cases {
+		w, h := Dims(n)
+		if w*h < n {
+			t.Fatalf("Dims(%d) = %dx%d does not fit", n, w, h)
+		}
+		if n == 4 || n == 16 || n == 2 || n == 1 {
+			if w != want[0] || h != want[1] {
+				t.Fatalf("Dims(%d) = %dx%d, want %dx%d", n, w, h, want[0], want[1])
+			}
+		}
+	}
+}
+
+func TestFlitsFor(t *testing.T) {
+	// 8-byte header + 0 payload = 2 flits.
+	if got := FlitsFor(0); got != 2 {
+		t.Fatalf("FlitsFor(0) = %d, want 2", got)
+	}
+	// 64-byte line + 8 header = 18 flits.
+	if got := FlitsFor(64); got != 18 {
+		t.Fatalf("FlitsFor(64) = %d, want 18", got)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	m, q := newTestMesh(4)
+	var gotCycle int64 = -1
+	m.SetHandler(2, func(p any) { gotCycle = q.Now() })
+	m.Send(2, 2, 2, nil)
+	q.RunUntil(100)
+	if gotCycle != DefaultRouterDelay {
+		t.Fatalf("local delivery at cycle %d, want %d", gotCycle, DefaultRouterDelay)
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	m, q := newTestMesh(16) // 4x4
+	var gotCycle int64 = -1
+	var payload any
+	m.SetHandler(15, func(p any) { gotCycle, payload = q.Now(), p })
+	// Node 0 (0,0) to node 15 (3,3): 6 hops.
+	flits := 2
+	m.Send(0, 15, flits, "hello")
+	q.RunUntil(1000)
+	want := m.UncontendedLatency(0, 15, flits)
+	if gotCycle != want {
+		t.Fatalf("delivery at %d, want %d", gotCycle, want)
+	}
+	if payload != "hello" {
+		t.Fatalf("payload %v", payload)
+	}
+	if m.HopCount(0, 15) != 6 {
+		t.Fatalf("hop count %d, want 6", m.HopCount(0, 15))
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	m, q := newTestMesh(4) // 2x2
+	var first, second int64 = -1, -1
+	n := 0
+	m.SetHandler(1, func(p any) {
+		if n == 0 {
+			first = q.Now()
+		} else {
+			second = q.Now()
+		}
+		n++
+	})
+	// Two 18-flit data messages down the same link back to back.
+	m.Send(0, 1, 18, nil)
+	m.Send(0, 1, 18, nil)
+	q.RunUntil(1000)
+	if first < 0 || second < 0 {
+		t.Fatal("messages not delivered")
+	}
+	// The second must wait for the first's 18-cycle serialization.
+	if second-first < 18 {
+		t.Fatalf("second delivered %d cycles after first, want >= 18", second-first)
+	}
+}
+
+func TestOrderingOnSameLink(t *testing.T) {
+	m, q := newTestMesh(4)
+	var order []int
+	m.SetHandler(3, func(p any) { order = append(order, p.(int)) })
+	for i := 0; i < 5; i++ {
+		m.Send(0, 3, 2, i)
+	}
+	q.RunUntil(10000)
+	if len(order) != 5 {
+		t.Fatalf("delivered %d of 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order delivery: %v", order)
+		}
+	}
+}
+
+func TestEnergyCharged(t *testing.T) {
+	q := &eventq.Queue{}
+	meter := power.NewMeter(4)
+	m := New(4, q, meter)
+	m.SetHandler(3, func(p any) {})
+	m.Send(0, 3, 2, nil) // 2 hops on a 2x2 mesh
+	q.RunUntil(1000)
+	var link int64
+	for c := 0; c < 4; c++ {
+		link += meter.Count(c, power.EvNoCLink)
+	}
+	if link != 4 { // 2 flits × 2 hops
+		t.Fatalf("link flit events = %d, want 4", link)
+	}
+	if m.FlitHops() != 4 {
+		t.Fatalf("FlitHops = %d, want 4", m.FlitHops())
+	}
+	if m.Messages() != 1 {
+		t.Fatalf("Messages = %d, want 1", m.Messages())
+	}
+}
+
+func TestAllPairsDeliver(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 16
+		m, q := newTestMesh(n)
+		delivered := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			m.SetHandler(i, func(p any) { delivered[i]++ })
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				m.Send(s, d, 2+int(seed)%4, nil)
+			}
+		}
+		q.RunUntil(1 << 20)
+		for i := 0; i < n; i++ {
+			if delivered[i] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopCountSymmetric(t *testing.T) {
+	m, _ := newTestMesh(16)
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if m.HopCount(a, b) != m.HopCount(b, a) {
+				t.Fatalf("asymmetric hop count %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestLatencyMonotonicInHops(t *testing.T) {
+	f := func(seed uint8) bool {
+		m, _ := newTestMesh(16)
+		// For fixed flit count, uncontended latency grows with hop count.
+		flits := 2 + int(seed)%16
+		prev := int64(-1)
+		for _, dst := range []int{1, 2, 3, 7, 11, 15} { // growing distance from 0
+			l := m.UncontendedLatency(0, dst, flits)
+			if l <= prev {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointPathsDoNotContend(t *testing.T) {
+	// Messages on disjoint rows must not slow each other down.
+	m, q := newTestMesh(16) // 4x4
+	var a, b int64 = -1, -1
+	m.SetHandler(3, func(p any) { a = q.Now() })  // row 0: 0→3
+	m.SetHandler(15, func(p any) { b = q.Now() }) // row 3: 12→15
+	m.Send(0, 3, 18, nil)
+	m.Send(12, 15, 18, nil)
+	q.RunUntil(10000)
+	if a != b {
+		t.Fatalf("disjoint paths interfered: %d vs %d", a, b)
+	}
+	if a != m.UncontendedLatency(0, 3, 18) {
+		t.Fatalf("latency %d, want uncontended %d", a, m.UncontendedLatency(0, 3, 18))
+	}
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/isa"
+)
+
+func TestAoPBIntegration(t *testing.T) {
+	c := NewCollector(2, 100, 0)
+	busy := []isa.SyncClass{isa.SyncBusy, isa.SyncBusy}
+	// Cycle 1: 120 pJ total → 20 over. Cycle 2: 80 → 0 over.
+	c.Record([]float64{70, 50}, busy)
+	c.Record([]float64{40, 40}, busy)
+	wantA := 20 * PJToJ
+	if math.Abs(c.AoPBJ()-wantA) > 1e-18 {
+		t.Fatalf("AoPB = %v, want %v", c.AoPBJ(), wantA)
+	}
+	wantE := 200 * PJToJ
+	if math.Abs(c.EnergyJ()-wantE) > 1e-18 {
+		t.Fatalf("Energy = %v, want %v", c.EnergyJ(), wantE)
+	}
+	if c.OverBudgetFrac() != 0.5 {
+		t.Fatalf("over-budget fraction = %v", c.OverBudgetFrac())
+	}
+}
+
+func TestAoPBDisabled(t *testing.T) {
+	c := NewCollector(1, 0, 0)
+	c.Record([]float64{1000}, []isa.SyncClass{isa.SyncBusy})
+	if c.AoPBJ() != 0 {
+		t.Fatal("AoPB tracked without a budget")
+	}
+}
+
+func TestClassBreakdown(t *testing.T) {
+	c := NewCollector(2, 0, 0)
+	c.Record([]float64{10, 10}, []isa.SyncClass{isa.SyncBusy, isa.SyncBarrier})
+	c.Record([]float64{10, 10}, []isa.SyncClass{isa.SyncLockAcq, isa.SyncBarrier})
+	f := c.ClassCycleFrac()
+	if f[isa.SyncBusy] != 0.25 || f[isa.SyncBarrier] != 0.5 || f[isa.SyncLockAcq] != 0.25 {
+		t.Fatalf("breakdown = %v", f)
+	}
+}
+
+func TestSpinEnergyFrac(t *testing.T) {
+	c := NewCollector(2, 0, 0)
+	c.Record([]float64{30, 10}, []isa.SyncClass{isa.SyncBusy, isa.SyncBarrier})
+	if got := c.SpinEnergyFrac(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("spin energy fraction = %v, want 0.25", got)
+	}
+}
+
+func TestPowerStats(t *testing.T) {
+	c := NewCollector(1, 0, 0)
+	for i := 0; i < 100; i++ {
+		c.Record([]float64{300}, []isa.SyncClass{isa.SyncBusy})
+	}
+	// 300 pJ/cycle at 3GHz = 0.9W.
+	if got := c.MeanPowerW(); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("mean power %v, want 0.9", got)
+	}
+	if got := c.StdPowerW(); got > 1e-9 {
+		t.Fatalf("constant power should have zero std, got %v", got)
+	}
+}
+
+func TestTraceSubsampling(t *testing.T) {
+	c := NewCollector(1, 0, 10)
+	for i := 0; i < 100; i++ {
+		c.Record([]float64{float64(i)}, []isa.SyncClass{isa.SyncBusy})
+	}
+	if len(c.Trace()) != 10 {
+		t.Fatalf("trace has %d samples, want 10", len(c.Trace()))
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	base := &RunResult{EnergyJ: 2.0, AoPBJ: 0.5, Cycles: 1000}
+	r := &RunResult{EnergyJ: 1.9, AoPBJ: 0.05, Cycles: 1100}
+	if got := NormalizedEnergyPct(r, base); math.Abs(got+5) > 1e-9 {
+		t.Fatalf("energy pct = %v, want -5", got)
+	}
+	if got := NormalizedAoPBPct(r, base); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("AoPB pct = %v, want 10", got)
+	}
+	if got := SlowdownPct(r, base); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("slowdown = %v, want 10", got)
+	}
+}
+
+func TestNormalizationZeroBase(t *testing.T) {
+	base := &RunResult{}
+	r := &RunResult{EnergyJ: 1}
+	if NormalizedEnergyPct(r, base) != 0 || NormalizedAoPBPct(r, base) != 0 || SlowdownPct(r, base) != 0 {
+		t.Fatal("zero base should normalize to 0, not NaN")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if math.Abs(Std(xs)-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", Std(xs))
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty stats should be 0")
+	}
+}
+
+func TestAoPBNonNegativeProperty(t *testing.T) {
+	f := func(vals []uint16, budget uint16) bool {
+		c := NewCollector(1, float64(budget), 0)
+		for _, v := range vals {
+			c.Record([]float64{float64(v)}, []isa.SyncClass{isa.SyncBusy})
+		}
+		return c.AoPBJ() >= 0 && c.EnergyJ() >= c.AoPBJ()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEDPAndED2P(t *testing.T) {
+	r := &RunResult{EnergyJ: 2, Cycles: 3_000_000_000} // 1 second at 3GHz
+	if math.Abs(r.EDP()-2) > 1e-9 {
+		t.Fatalf("EDP = %v, want 2 J·s", r.EDP())
+	}
+	if math.Abs(r.ED2P()-2) > 1e-9 {
+		t.Fatalf("ED2P = %v, want 2 J·s²", r.ED2P())
+	}
+	// Halving runtime at equal energy halves EDP and quarters ED2P.
+	half := &RunResult{EnergyJ: 2, Cycles: 1_500_000_000}
+	if math.Abs(half.EDP()-1) > 1e-9 || math.Abs(half.ED2P()-0.5) > 1e-9 {
+		t.Fatalf("EDP/ED2P scaling wrong: %v %v", half.EDP(), half.ED2P())
+	}
+}
+
+func TestClassAvgPJ(t *testing.T) {
+	c := NewCollector(2, 0, 0)
+	c.Record([]float64{100, 20}, []isa.SyncClass{isa.SyncBusy, isa.SyncBarrier})
+	c.Record([]float64{200, 40}, []isa.SyncClass{isa.SyncBusy, isa.SyncBarrier})
+	avg := c.ClassAvgPJ()
+	if avg[isa.SyncBusy] != 150 || avg[isa.SyncBarrier] != 30 {
+		t.Fatalf("class averages %v", avg)
+	}
+	if avg[isa.SyncLockAcq] != 0 {
+		t.Fatal("unvisited class should average 0")
+	}
+}

@@ -1,0 +1,101 @@
+// Package microarch implements the fine-grained microarchitectural
+// power-saving techniques of the two-level approach (Cebrián et al. [2],
+// §II.B): a ladder of pipeline throttles selected by how far the core is
+// over its local power budget. Unlike DVFS these act on the very next cycle
+// and target only the offending core, which is what lets the 2-level and
+// PTB schemes clip power spikes that DVFS's windows cannot see.
+package microarch
+
+import "ptbsim/internal/cpu"
+
+// Level is a rung on the technique ladder, weakest to strongest.
+type Level int
+
+const (
+	// LevelNone removes all throttles.
+	LevelNone Level = iota
+	// LevelFetchThrottle halves fetch bandwidth.
+	LevelFetchThrottle
+	// LevelDecodeThrottle additionally halves decode/dispatch.
+	LevelDecodeThrottle
+	// LevelIssueThrottle drops fetch to 1 and halves issue.
+	LevelIssueThrottle
+	// LevelFetchGate stops fetch entirely until pressure subsides.
+	LevelFetchGate
+
+	numLevels
+)
+
+// NumLevels is the number of rungs including LevelNone.
+const NumLevels = int(numLevels)
+
+var levelNames = [...]string{
+	LevelNone:           "none",
+	LevelFetchThrottle:  "fetch-throttle",
+	LevelDecodeThrottle: "decode-throttle",
+	LevelIssueThrottle:  "issue-throttle",
+	LevelFetchGate:      "fetch-gate",
+}
+
+// String names the level.
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "level?"
+}
+
+// ForDistance maps the fractional overshoot above the local budget
+// ((est-budget)/budget) to a technique, mirroring the distance-based
+// selection of [2]: small overshoots get gentle fetch throttling, large
+// spikes get the fetch gate.
+func ForDistance(d float64) Level {
+	switch {
+	case d <= 0:
+		return LevelNone
+	case d <= 0.10:
+		return LevelFetchThrottle
+	case d <= 0.25:
+		return LevelDecodeThrottle
+	case d <= 0.50:
+		return LevelIssueThrottle
+	default:
+		return LevelFetchGate
+	}
+}
+
+// Apply configures a core's knobs for the level. Width values assume the
+// Table-1 4-wide machine. Issue width is throttled on every rung: in this
+// power model (as in a real core) the issue stage — wakeup, register
+// reads, functional units — is where per-cycle spikes originate, so
+// fetch-only throttles would act a pipeline-depth too late.
+func Apply(k *cpu.Knobs, l Level) {
+	switch l {
+	case LevelNone:
+		*k = cpu.Knobs{}
+	case LevelFetchThrottle:
+		*k = cpu.Knobs{FetchWidth: 2, IssueWidth: 3}
+	case LevelDecodeThrottle:
+		*k = cpu.Knobs{FetchWidth: 2, DecodeWidth: 2, IssueWidth: 2}
+	case LevelIssueThrottle:
+		*k = cpu.Knobs{FetchWidth: 1, DecodeWidth: 1, IssueWidth: 1}
+	case LevelFetchGate:
+		*k = cpu.Knobs{FetchGate: true, IssueWidth: 1}
+	}
+}
+
+// LevelOf reports the level a knob block corresponds to (for tests and
+// stats).
+func LevelOf(k *cpu.Knobs) Level {
+	switch {
+	case k.FetchGate:
+		return LevelFetchGate
+	case k.FetchWidth == 1:
+		return LevelIssueThrottle
+	case k.DecodeWidth == 2:
+		return LevelDecodeThrottle
+	case k.FetchWidth == 2:
+		return LevelFetchThrottle
+	}
+	return LevelNone
+}

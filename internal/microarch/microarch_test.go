@@ -1,0 +1,68 @@
+package microarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/cpu"
+)
+
+func TestForDistanceLadder(t *testing.T) {
+	cases := []struct {
+		d    float64
+		want Level
+	}{
+		{-1, LevelNone}, {0, LevelNone}, {0.05, LevelFetchThrottle},
+		{0.10, LevelFetchThrottle}, {0.2, LevelDecodeThrottle},
+		{0.4, LevelIssueThrottle}, {0.9, LevelFetchGate}, {5, LevelFetchGate},
+	}
+	for _, c := range cases {
+		if got := ForDistance(c.d); got != c.want {
+			t.Fatalf("ForDistance(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestForDistanceMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return ForDistance(a) <= ForDistance(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRoundTrips(t *testing.T) {
+	var k cpu.Knobs
+	for l := LevelNone; l <= LevelFetchGate; l++ {
+		Apply(&k, l)
+		if got := LevelOf(&k); got != l {
+			t.Fatalf("LevelOf(Apply(%v)) = %v", l, got)
+		}
+	}
+}
+
+func TestApplyNoneClears(t *testing.T) {
+	k := cpu.Knobs{FetchGate: true, FetchWidth: 1}
+	Apply(&k, LevelNone)
+	if k != (cpu.Knobs{}) {
+		t.Fatalf("LevelNone left knobs %+v", k)
+	}
+}
+
+func TestStrongerLevelsThrottleMore(t *testing.T) {
+	var a, b cpu.Knobs
+	Apply(&a, LevelFetchThrottle)
+	Apply(&b, LevelIssueThrottle)
+	if b.FetchWidth >= a.FetchWidth {
+		t.Fatal("issue-throttle does not fetch narrower than fetch-throttle")
+	}
+	var g cpu.Knobs
+	Apply(&g, LevelFetchGate)
+	if !g.FetchGate {
+		t.Fatal("fetch gate not set")
+	}
+}

@@ -1,0 +1,240 @@
+// Package power implements the energy accounting substrate of the simulator
+// and the paper's power-token machinery (§III.B):
+//
+//   - a per-event energy table with CACTI-like relative magnitudes for a
+//     32nm, 0.9V, 3GHz core (the paper derived its scaling factors from
+//     CACTI v5.1; absolute joules do not matter for the normalized results,
+//     relative structure costs do),
+//   - a Meter that accumulates per-core, per-cycle energy (ground truth used
+//     for the AoPB and energy metrics),
+//   - the power-token model: base token cost per instruction class, k-means
+//     quantization into 8 groups, and the Power-Token History Table (PTHT)
+//     that controllers use to *estimate* power without performance counters.
+package power
+
+import "fmt"
+
+// EventKind enumerates every energy-consuming event the simulator models.
+type EventKind uint8
+
+const (
+	// EvFetch is one instruction passing the fetch stage.
+	EvFetch EventKind = iota
+	// EvL1I is one L1 instruction-cache line read.
+	EvL1I
+	// EvBpred is one branch-predictor lookup or update.
+	EvBpred
+	// EvDecode is one instruction decoded.
+	EvDecode
+	// EvRename is one instruction renamed.
+	EvRename
+	// EvIQWrite is one issue-queue insertion.
+	EvIQWrite
+	// EvIQWakeup is one issue-queue wakeup/select broadcast.
+	EvIQWakeup
+	// EvRegRead is one physical register file read port access.
+	EvRegRead
+	// EvRegWrite is one physical register file write.
+	EvRegWrite
+	// EvFUIntAlu is one integer ALU operation.
+	EvFUIntAlu
+	// EvFUIntMul is one integer multiply operation.
+	EvFUIntMul
+	// EvFUFPAlu is one FP add/sub operation.
+	EvFUFPAlu
+	// EvFUFPMul is one FP multiply/divide operation.
+	EvFUFPMul
+	// EvROBWrite is one reorder-buffer allocation write.
+	EvROBWrite
+	// EvROBRead is one reorder-buffer read at commit.
+	EvROBRead
+	// EvROBOccupancy is one instruction resident in the ROB for one cycle.
+	// This event defines the power-token unit (paper §III.B).
+	EvROBOccupancy
+	// EvLSQ is one load/store queue operation (insert, search or remove).
+	EvLSQ
+	// EvL1DRead is one L1 data-cache read.
+	EvL1DRead
+	// EvL1DWrite is one L1 data-cache write.
+	EvL1DWrite
+	// EvL2 is one L2 bank access (tag+data).
+	EvL2
+	// EvDir is one directory lookup/update at an L2 home bank.
+	EvDir
+	// EvNoCLink is one flit traversing one mesh link.
+	EvNoCLink
+	// EvNoCRouter is one flit traversing one router.
+	EvNoCRouter
+	// EvMem is one DRAM access (full cache line).
+	EvMem
+	// EvPTHT is one Power-Token History Table access.
+	EvPTHT
+	// EvPTBWire is one PTB load-balancer wire transfer (per core per
+	// balancing round). Together with EvPTBLogic it charges the ~1% chip
+	// power overhead the paper measured with XPower.
+	EvPTBWire
+	// EvPTBLogic is one PTB load-balancer arbitration operation.
+	EvPTBLogic
+	// EvClockActive is the core clock-tree energy for one active cycle.
+	EvClockActive
+	// EvClockGated is the residual clock/idle energy for one cycle in which
+	// the core is stalled or frequency-gated, with clock gating enabled.
+	EvClockGated
+	// EvLeakage is the per-cycle leakage of one core tile (core + L1s +
+	// L2 bank + router share). Charged every global cycle regardless of
+	// activity; scales with supply voltage.
+	EvLeakage
+	// EvLeakageSleep replaces EvLeakage on cycles a core is sleep-gated:
+	// power gating cuts most of the core's leakage, leaving the always-on
+	// tile share (L2 bank, router, retention).
+	EvLeakageSleep
+
+	numEventKinds
+)
+
+// NumEventKinds is the number of modeled event kinds.
+const NumEventKinds = int(numEventKinds)
+
+var eventNames = [...]string{
+	EvFetch:        "fetch",
+	EvL1I:          "l1i",
+	EvBpred:        "bpred",
+	EvDecode:       "decode",
+	EvRename:       "rename",
+	EvIQWrite:      "iq-write",
+	EvIQWakeup:     "iq-wakeup",
+	EvRegRead:      "reg-read",
+	EvRegWrite:     "reg-write",
+	EvFUIntAlu:     "fu-ialu",
+	EvFUIntMul:     "fu-imul",
+	EvFUFPAlu:      "fu-falu",
+	EvFUFPMul:      "fu-fmul",
+	EvROBWrite:     "rob-write",
+	EvROBRead:      "rob-read",
+	EvROBOccupancy: "rob-occ",
+	EvLSQ:          "lsq",
+	EvL1DRead:      "l1d-read",
+	EvL1DWrite:     "l1d-write",
+	EvL2:           "l2",
+	EvDir:          "dir",
+	EvNoCLink:      "noc-link",
+	EvNoCRouter:    "noc-router",
+	EvMem:          "mem",
+	EvPTHT:         "ptht",
+	EvPTBWire:      "ptb-wire",
+	EvPTBLogic:     "ptb-logic",
+	EvClockActive:  "clock-active",
+	EvClockGated:   "clock-gated",
+	EvLeakage:      "leakage",
+	EvLeakageSleep: "leakage-sleep",
+}
+
+// String returns a short name for the event kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// EnergyPJ is the nominal energy, in picojoules, of each event at full
+// voltage (0.9V) and 32nm. The relative magnitudes follow CACTI-style
+// structure costs: SRAM access energy grows with capacity and associativity,
+// FP units cost more than integer units, off-chip DRAM dwarfs everything.
+// The distribution is Wattch-style: the clock network is mostly folded
+// into the per-access costs of the structures it feeds (each event below
+// includes its clock share), leaving only a small always-on spine in
+// EvClockActive. This matters for fidelity: it makes per-cycle power track
+// instruction flow — which is what lets the paper's token estimate reach
+// <1% error — and gives instruction-flow techniques (fetch/issue
+// throttling) genuine power leverage.
+var EnergyPJ = [NumEventKinds]float64{
+	EvFetch:        35,
+	EvL1I:          55,
+	EvBpred:        18,
+	EvDecode:       30,
+	EvRename:       32,
+	EvIQWrite:      38,
+	EvIQWakeup:     50,
+	EvRegRead:      28,
+	EvRegWrite:     35,
+	EvFUIntAlu:     40,
+	EvFUIntMul:     90,
+	EvFUFPAlu:      80,
+	EvFUFPMul:      130,
+	EvROBWrite:     30,
+	EvROBRead:      25,
+	EvROBOccupancy: 2, // the power-token unit
+	EvLSQ:          30,
+	EvL1DRead:      55,
+	EvL1DWrite:     62,
+	EvL2:           190,
+	EvDir:          32,
+	EvNoCLink:      8,
+	EvNoCRouter:    5,
+	EvMem:          2100,
+	EvPTHT:         8,
+	EvPTBWire:      9,
+	EvPTBLogic:     12,
+	EvClockActive:  120,
+	EvClockGated:   35,
+	EvLeakage:      120,
+	EvLeakageSleep: 45,
+}
+
+// SustainedPeakFrac relates the structural worst-case cycle energy
+// (PeakCoreCyclePJ) to the processor's rated peak ("the original processor
+// peak power consumption" the paper budgets against). The structural bound
+// assumes every port of every structure fires in the same cycle — several
+// times beyond achievable ILP — while a rated (datasheet) peak reflects
+// sustainable activity. The factor is calibrated so that a 50% budget
+// reproduces the paper's Fig. 6 geometry: the budget line sits slightly
+// above the mean busy-phase power (overage comes from activity spikes, as
+// in the paper, not from a permanently impossible target) and ~15% above
+// spinning power.
+const SustainedPeakFrac = 0.37
+
+// Component groups event kinds for energy-breakdown reporting.
+func (k EventKind) Component() string {
+	switch k {
+	case EvFetch, EvL1I, EvBpred, EvDecode, EvRename:
+		return "frontend"
+	case EvIQWrite, EvIQWakeup, EvRegRead, EvRegWrite,
+		EvFUIntAlu, EvFUIntMul, EvFUFPAlu, EvFUFPMul,
+		EvROBWrite, EvROBRead, EvROBOccupancy, EvLSQ:
+		return "execute"
+	case EvL1DRead, EvL1DWrite, EvL2, EvDir:
+		return "caches"
+	case EvNoCLink, EvNoCRouter:
+		return "noc"
+	case EvMem:
+		return "dram"
+	case EvPTHT, EvPTBWire, EvPTBLogic:
+		return "power-mgmt"
+	case EvClockActive, EvClockGated:
+		return "clock"
+	case EvLeakage, EvLeakageSleep:
+		return "leakage"
+	}
+	return "other"
+}
+
+// Components lists the breakdown group names in report order.
+func Components() []string {
+	return []string{"frontend", "execute", "caches", "noc", "dram",
+		"power-mgmt", "clock", "leakage"}
+}
+
+// TokenUnitPJ is the energy of one power token: the joules consumed by one
+// instruction staying in the ROB for one cycle (paper §III.B).
+const TokenUnitPJ = 2.0
+
+// Tokens converts an energy in picojoules to whole power tokens, rounding to
+// nearest.
+func Tokens(pj float64) int {
+	t := int(pj/TokenUnitPJ + 0.5)
+	if t < 0 {
+		return 0
+	}
+	return t
+}

@@ -1,0 +1,102 @@
+package power
+
+import "sort"
+
+// kmeans1D clusters scalar values into k groups and returns the group index
+// of each input value plus the k group centers, sorted ascending. It is the
+// quantization step of the paper's token model: "we used a K-mean algorithm
+// to group instructions with similar base power consumption ... having just
+// 8 groups of instructions is accurate enough ... with an error lower than
+// 1%" (§III.B).
+//
+// Initialization is deterministic (quantiles of the sorted values), so the
+// grouping is reproducible.
+func kmeans1D(values []float64, k int) (assign []int, centers []float64) {
+	n := len(values)
+	assign = make([]int, n)
+	if n == 0 || k <= 0 {
+		return assign, nil
+	}
+	if k > n {
+		k = n
+	}
+
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	centers = make([]float64, k)
+	for i := 0; i < k; i++ {
+		// Quantile-based seeding: evenly spaced through the sorted values.
+		idx := (i*2 + 1) * n / (2 * k)
+		if idx >= n {
+			idx = n - 1
+		}
+		centers[i] = sorted[idx]
+	}
+
+	counts := make([]int, k)
+	sums := make([]float64, k)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i := range counts {
+			counts[i] = 0
+			sums[i] = 0
+		}
+		for i, v := range values {
+			best := 0
+			bestD := abs(v - centers[0])
+			for c := 1; c < k; c++ {
+				if d := abs(v - centers[c]); d < bestD {
+					bestD = d
+					best = c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			counts[best]++
+			sums[best] += v
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	// Sort centers ascending and remap assignments so group 0 is always the
+	// cheapest instruction class.
+	type pair struct {
+		center float64
+		old    int
+	}
+	ps := make([]pair, k)
+	for i := range ps {
+		ps[i] = pair{centers[i], i}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].center < ps[j].center })
+	remap := make([]int, k)
+	for newIdx, p := range ps {
+		remap[p.old] = newIdx
+		centers[newIdx] = p.center
+	}
+	// centers was modified in place while reading ps; rebuild cleanly.
+	for i, p := range ps {
+		centers[i] = p.center
+	}
+	for i := range assign {
+		assign[i] = remap[assign[i]]
+	}
+	return assign, centers
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

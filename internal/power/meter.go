@@ -1,0 +1,139 @@
+package power
+
+// Meter accumulates ground-truth energy per core tile per cycle. Every
+// component posts events to the meter; at the end of each global cycle the
+// simulator calls EndCycle to obtain the per-core energies of that cycle and
+// fold them into totals.
+//
+// Dynamic events are scaled by the square of the core's current relative
+// supply voltage (P_dyn ∝ V²); leakage scales linearly with voltage (a
+// conservative stand-in for its super-linear voltage dependence — the DVFS
+// ladder only moves V between 0.90 and 1.00 of nominal, where a linear model
+// is within a few percent). Frequency scaling needs no explicit factor: a
+// core at relative frequency f simply produces events on fewer global
+// cycles.
+type Meter struct {
+	nCores int
+
+	// vScaleSq is the per-core dynamic scale factor (relative V squared).
+	vScaleSq []float64
+	// vScaleLeak is the per-core leakage scale factor (relative V).
+	vScaleLeak []float64
+
+	cycleEnergy []float64 // pJ accumulated this cycle, per core
+	totalEnergy []float64 // pJ accumulated since reset, per core
+
+	// byKind tracks total energy per event kind per core (pJ), for detailed
+	// reports and for the spinlock-power metric.
+	byKind [][]float64
+
+	// counts tracks total event counts per kind per core.
+	counts [][]int64
+}
+
+// NewMeter returns a meter for nCores core tiles at nominal voltage.
+func NewMeter(nCores int) *Meter {
+	m := &Meter{
+		nCores:      nCores,
+		vScaleSq:    make([]float64, nCores),
+		vScaleLeak:  make([]float64, nCores),
+		cycleEnergy: make([]float64, nCores),
+		totalEnergy: make([]float64, nCores),
+		byKind:      make([][]float64, nCores),
+		counts:      make([][]int64, nCores),
+	}
+	for i := 0; i < nCores; i++ {
+		m.vScaleSq[i] = 1
+		m.vScaleLeak[i] = 1
+		m.byKind[i] = make([]float64, NumEventKinds)
+		m.counts[i] = make([]int64, NumEventKinds)
+	}
+	return m
+}
+
+// NumCores returns the number of core tiles the meter tracks.
+func (m *Meter) NumCores() int { return m.nCores }
+
+// SetVoltage sets a core's relative supply voltage (1.0 = nominal). It
+// affects the scaling of all subsequent events on that core.
+func (m *Meter) SetVoltage(core int, rel float64) {
+	m.vScaleSq[core] = rel * rel
+	m.vScaleLeak[core] = rel
+}
+
+// Voltage returns the core's current relative supply voltage squared scale.
+func (m *Meter) Voltage(core int) float64 { return m.vScaleLeak[core] }
+
+// Add posts n events of kind k on core's tile during the current cycle.
+func (m *Meter) Add(core int, k EventKind, n int) {
+	if n == 0 {
+		return
+	}
+	var e float64
+	if k == EvLeakage || k == EvLeakageSleep {
+		e = EnergyPJ[k] * float64(n) * m.vScaleLeak[core]
+	} else {
+		e = EnergyPJ[k] * float64(n) * m.vScaleSq[core]
+	}
+	m.cycleEnergy[core] += e
+	m.byKind[core][k] += e
+	m.counts[core][k] += int64(n)
+}
+
+// EndCycle finishes the current cycle. It writes each core's cycle energy
+// (pJ) into dst (which must have length NumCores), adds them to the running
+// totals, resets the per-cycle accumulators, and returns the chip-wide cycle
+// energy in picojoules.
+func (m *Meter) EndCycle(dst []float64) float64 {
+	var chip float64
+	for i := 0; i < m.nCores; i++ {
+		e := m.cycleEnergy[i]
+		dst[i] = e
+		m.totalEnergy[i] += e
+		m.cycleEnergy[i] = 0
+		chip += e
+	}
+	return chip
+}
+
+// TotalPJ returns the total energy consumed by a core tile, in picojoules.
+func (m *Meter) TotalPJ(core int) float64 { return m.totalEnergy[core] }
+
+// ChipTotalPJ returns the total chip energy in picojoules.
+func (m *Meter) ChipTotalPJ() float64 {
+	var s float64
+	for _, e := range m.totalEnergy {
+		s += e
+	}
+	return s
+}
+
+// KindPJ returns the total energy consumed by events of kind k on core.
+func (m *Meter) KindPJ(core int, k EventKind) float64 { return m.byKind[core][k] }
+
+// Count returns the number of events of kind k posted on core.
+func (m *Meter) Count(core int, k EventKind) int64 { return m.counts[core][k] }
+
+// PeakCoreCyclePJ returns the worst-case single-cycle energy of one core
+// tile at nominal voltage, used to define the chip's peak power and hence
+// the power budget (budgets are a fraction of peak, paper §III.C). The
+// bound is structural: a 4-wide front end at full tilt, the issue width
+// saturated with the most expensive operations (the machine cannot start
+// more FU operations per cycle than it issues), both L1D ports active, and
+// a full ROB.
+func PeakCoreCyclePJ(robSize int) float64 {
+	w := 4.0
+	e := EnergyPJ[EvClockActive] + EnergyPJ[EvLeakage]
+	e += w * (EnergyPJ[EvFetch] + EnergyPJ[EvDecode] + EnergyPJ[EvRename] +
+		EnergyPJ[EvIQWrite] + EnergyPJ[EvIQWakeup] +
+		2*EnergyPJ[EvRegRead] + EnergyPJ[EvRegWrite] +
+		EnergyPJ[EvROBWrite] + EnergyPJ[EvROBRead] + EnergyPJ[EvPTHT])
+	e += EnergyPJ[EvL1I] + EnergyPJ[EvBpred]
+	// Issue width saturated with the most expensive unit (FP multiply).
+	e += w * EnergyPJ[EvFUFPMul]
+	// Two L1D ports plus LSQ activity.
+	e += 2*EnergyPJ[EvL1DRead] + 2*EnergyPJ[EvLSQ]
+	// Full ROB occupancy.
+	e += float64(robSize) * EnergyPJ[EvROBOccupancy]
+	return e
+}

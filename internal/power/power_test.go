@@ -1,0 +1,238 @@
+package power
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/isa"
+)
+
+func TestMeterAccumulation(t *testing.T) {
+	m := NewMeter(2)
+	m.Add(0, EvFUIntAlu, 3)
+	m.Add(1, EvL1DRead, 1)
+	dst := make([]float64, 2)
+	chip := m.EndCycle(dst)
+	want0 := 3 * EnergyPJ[EvFUIntAlu]
+	want1 := EnergyPJ[EvL1DRead]
+	if dst[0] != want0 || dst[1] != want1 {
+		t.Fatalf("cycle energies = %v, want [%v %v]", dst, want0, want1)
+	}
+	if chip != want0+want1 {
+		t.Fatalf("chip energy %v, want %v", chip, want0+want1)
+	}
+	if m.TotalPJ(0) != want0 {
+		t.Fatalf("total(0) = %v, want %v", m.TotalPJ(0), want0)
+	}
+	// Second cycle starts from zero.
+	chip = m.EndCycle(dst)
+	if chip != 0 || dst[0] != 0 {
+		t.Fatal("cycle accumulator not reset")
+	}
+}
+
+func TestMeterVoltageScaling(t *testing.T) {
+	m := NewMeter(1)
+	m.SetVoltage(0, 0.9)
+	m.Add(0, EvFUIntAlu, 1)
+	m.Add(0, EvLeakage, 1)
+	dst := make([]float64, 1)
+	m.EndCycle(dst)
+	want := EnergyPJ[EvFUIntAlu]*0.81 + EnergyPJ[EvLeakage]*0.9
+	if math.Abs(dst[0]-want) > 1e-9 {
+		t.Fatalf("scaled energy %v, want %v", dst[0], want)
+	}
+}
+
+func TestMeterCounts(t *testing.T) {
+	m := NewMeter(1)
+	m.Add(0, EvDecode, 4)
+	m.Add(0, EvDecode, 2)
+	if m.Count(0, EvDecode) != 6 {
+		t.Fatalf("count = %d, want 6", m.Count(0, EvDecode))
+	}
+	if m.KindPJ(0, EvDecode) != 6*EnergyPJ[EvDecode] {
+		t.Fatalf("kind energy mismatch")
+	}
+}
+
+func TestPeakCoreCyclePJSane(t *testing.T) {
+	peak := PeakCoreCyclePJ(128)
+	// The peak should be a few nanojoules per cycle (a handful of watts per
+	// core at 3GHz) and strictly larger than the idle floor.
+	if peak < 1000 || peak > 10000 {
+		t.Fatalf("peak cycle energy %v pJ implausible", peak)
+	}
+	floor := EnergyPJ[EvClockGated] + EnergyPJ[EvLeakage]
+	if peak <= 4*floor {
+		t.Fatalf("peak %v not well above idle floor %v", peak, floor)
+	}
+}
+
+func TestTokensRounding(t *testing.T) {
+	if Tokens(3.9) != 2 {
+		t.Fatalf("Tokens(3.9) = %d, want 2", Tokens(3.9))
+	}
+	if Tokens(-5) != 0 {
+		t.Fatalf("Tokens(-5) = %d, want 0", Tokens(-5))
+	}
+	if Tokens(0) != 0 {
+		t.Fatalf("Tokens(0) = %d, want 0", Tokens(0))
+	}
+}
+
+func TestKMeansBasic(t *testing.T) {
+	vals := []float64{1, 1.1, 0.9, 10, 10.2, 9.8, 50, 49, 51}
+	assign, centers := kmeans1D(vals, 3)
+	if len(centers) != 3 {
+		t.Fatalf("got %d centers, want 3", len(centers))
+	}
+	if !sort.Float64sAreSorted(centers) {
+		t.Fatalf("centers not sorted: %v", centers)
+	}
+	// All ~1 values must share a group, etc.
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("low cluster split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("mid cluster split: %v", assign)
+	}
+	if assign[6] != assign[7] || assign[7] != assign[8] {
+		t.Fatalf("high cluster split: %v", assign)
+	}
+	if assign[0] == assign[3] || assign[3] == assign[6] {
+		t.Fatalf("clusters merged: %v", assign)
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	assign, centers := kmeans1D(nil, 4)
+	if len(assign) != 0 || centers != nil {
+		t.Fatal("empty input should produce empty output")
+	}
+	assign, centers = kmeans1D([]float64{5}, 4)
+	if len(centers) != 1 || centers[0] != 5 || assign[0] != 0 {
+		t.Fatalf("single value: assign=%v centers=%v", assign, centers)
+	}
+}
+
+func TestKMeansPropertyAssignmentsNearest(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		assign, centers := kmeans1D(vals, 4)
+		// Every value must be assigned to its nearest center.
+		for i, v := range vals {
+			best := assign[i]
+			for c := range centers {
+				if abs(v-centers[c]) < abs(v-centers[best])-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenModelQuantizationError(t *testing.T) {
+	tm := NewTokenModel()
+	// The paper reports <1% error from 8-group quantization; our variant
+	// space is small so the error should be tiny as well. Verify it is
+	// bounded by 5% on every variant with a non-trivial cost.
+	for op := 1; op < isa.NumOps; op++ {
+		for _, ll := range []bool{false, true} {
+			exact := tm.ExactBaseTokens(isa.Op(op), ll)
+			quant := float64(tm.BaseTokens(isa.Op(op), ll))
+			if exact <= 0 {
+				t.Fatalf("op %v has non-positive base cost", isa.Op(op))
+			}
+			if rel := abs(quant-exact) / exact; rel > 0.05 {
+				t.Errorf("op %v longLat=%v: quantization error %.1f%% (exact %.1f, quant %.0f)",
+					isa.Op(op), ll, rel*100, exact, quant)
+			}
+		}
+	}
+}
+
+func TestTokenModelOrdering(t *testing.T) {
+	tm := NewTokenModel()
+	// FP multiply must cost at least as much as integer ALU; loads more
+	// than plain ALU ops (they touch LSQ + L1D).
+	if tm.BaseTokens(isa.OpFPMul, false) < tm.BaseTokens(isa.OpIntAlu, false) {
+		t.Fatal("FPMul cheaper than IntAlu")
+	}
+	if tm.BaseTokens(isa.OpLoad, false) < tm.BaseTokens(isa.OpIntAlu, false) {
+		t.Fatal("Load cheaper than IntAlu")
+	}
+	if tm.BaseTokens(isa.OpAtomicRMW, false) < tm.BaseTokens(isa.OpLoad, false) {
+		t.Fatal("RMW cheaper than Load")
+	}
+}
+
+func TestTokenModelGroups(t *testing.T) {
+	tm := NewTokenModel()
+	centers := tm.GroupCenters()
+	if len(centers) != NumTokenGroups {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	for op := 0; op < isa.NumOps; op++ {
+		g := tm.Group(isa.Op(op), false)
+		if g < 0 || g >= NumTokenGroups {
+			t.Fatalf("group out of range: %d", g)
+		}
+	}
+}
+
+func TestPTHTLookupDefault(t *testing.T) {
+	p := NewPTHT(nil, 0)
+	if got := p.Lookup(0x1234, 42); got != 42 {
+		t.Fatalf("cold lookup = %d, want default 42", got)
+	}
+	p.Update(0x1234, 77)
+	if got := p.Lookup(0x1234, 42); got != 77 {
+		t.Fatalf("lookup after update = %d, want 77", got)
+	}
+}
+
+func TestPTHTSaturation(t *testing.T) {
+	p := NewPTHT(nil, 0)
+	p.Update(0x10, 1<<20)
+	if got := p.Lookup(0x10, 0); got != 0xFFFF {
+		t.Fatalf("saturated value = %d, want 65535", got)
+	}
+	p.Update(0x20, -5)
+	if got := p.Lookup(0x20, 0); got != 1 {
+		t.Fatalf("clamped value = %d, want 1", got)
+	}
+}
+
+func TestPTHTAliasing(t *testing.T) {
+	p := NewPTHT(nil, 0)
+	// Two PCs that map to the same entry must alias (direct-mapped table).
+	pcA := uint64(0x100)
+	pcB := pcA + uint64(PTHTSize)*4
+	p.Update(pcA, 9)
+	if got := p.Lookup(pcB, 0); got != 9 {
+		t.Fatalf("aliased lookup = %d, want 9", got)
+	}
+}
+
+func TestPTHTChargesEnergy(t *testing.T) {
+	m := NewMeter(1)
+	p := NewPTHT(m, 0)
+	p.Update(0x40, 10)
+	p.Lookup(0x40, 0)
+	if m.Count(0, EvPTHT) != 2 {
+		t.Fatalf("PTHT events = %d, want 2", m.Count(0, EvPTHT))
+	}
+}

@@ -1,0 +1,222 @@
+package power
+
+import "ptbsim/internal/isa"
+
+// NumTokenGroups is the number of k-means instruction groups (paper §III.B:
+// 8 groups give <1% error versus exact joules).
+const NumTokenGroups = 8
+
+// TokenModel maps instruction classes to base power-token costs. The base
+// cost of an instruction covers "all regular accesses to structures done by
+// that instruction which are known a priori"; the time-dependent component
+// (cycles spent in the ROB) is added dynamically by the core when the
+// instruction commits.
+type TokenModel struct {
+	// baseCost is the exact base energy (pJ) of each (op, longLat) variant.
+	baseCost [isa.NumOps][2]float64
+	// group is the k-means group of each variant.
+	group [isa.NumOps][2]uint8
+	// centers are the group centers in tokens.
+	centers [NumTokenGroups]int
+}
+
+// baseEnergyPJ returns the a-priori per-instruction energy of an (op,
+// longLat) variant: front-end, rename, issue, register file, ROB write/read
+// and the class-specific functional-unit and memory structure accesses.
+func baseEnergyPJ(op isa.Op, longLat bool) float64 {
+	e := EnergyPJ[EvFetch] + EnergyPJ[EvDecode] + EnergyPJ[EvRename] +
+		EnergyPJ[EvIQWrite] + EnergyPJ[EvIQWakeup] +
+		2*EnergyPJ[EvRegRead] + EnergyPJ[EvRegWrite] +
+		EnergyPJ[EvROBWrite] + EnergyPJ[EvROBRead]
+	switch op {
+	case isa.OpNop:
+		// Front-end cost only.
+	case isa.OpIntAlu:
+		e += EnergyPJ[EvFUIntAlu]
+	case isa.OpIntMul:
+		e += EnergyPJ[EvFUIntMul]
+		if longLat {
+			e += EnergyPJ[EvFUIntMul]
+		}
+	case isa.OpFPAlu:
+		e += EnergyPJ[EvFUFPAlu]
+	case isa.OpFPMul:
+		e += EnergyPJ[EvFUFPMul]
+		if longLat {
+			// FP divide occupies the multiplier for many cycles.
+			e += 2 * EnergyPJ[EvFUFPMul]
+		}
+	case isa.OpLoad:
+		e += EnergyPJ[EvFUIntAlu] + EnergyPJ[EvLSQ] + EnergyPJ[EvL1DRead]
+	case isa.OpStore:
+		e += EnergyPJ[EvFUIntAlu] + EnergyPJ[EvLSQ] + EnergyPJ[EvL1DWrite]
+	case isa.OpBranch:
+		e += EnergyPJ[EvFUIntAlu] + 2*EnergyPJ[EvBpred]
+	case isa.OpAtomicRMW:
+		e += EnergyPJ[EvFUIntAlu] + EnergyPJ[EvLSQ] +
+			EnergyPJ[EvL1DRead] + EnergyPJ[EvL1DWrite]
+	}
+	return e
+}
+
+// NewTokenModel builds the standard 8-group token model.
+func NewTokenModel() *TokenModel { return NewTokenModelK(NumTokenGroups) }
+
+// NewTokenModelK builds the token model with k quantization groups (the
+// ablation knob behind the paper's "8 groups give <1% error" claim): it
+// computes the base energy of every instruction variant and quantizes the
+// costs into k k-means groups. Clustering runs over the *unique* cost
+// values so that variants sharing a cost (e.g. long-latency flags that do
+// not change the op's energy) do not skew the group centers.
+func NewTokenModelK(k int) *TokenModel {
+	if k < 1 {
+		k = 1
+	}
+	if k > NumTokenGroups {
+		k = NumTokenGroups
+	}
+	t := &TokenModel{}
+	seen := map[float64]bool{}
+	var unique []float64
+	for op := 0; op < isa.NumOps; op++ {
+		for ll := 0; ll < 2; ll++ {
+			e := baseEnergyPJ(isa.Op(op), ll == 1)
+			t.baseCost[op][ll] = e
+			if !seen[e] {
+				seen[e] = true
+				unique = append(unique, e)
+			}
+		}
+	}
+	_, centers := kmeans1D(unique, k)
+	for i, c := range centers {
+		if i < NumTokenGroups {
+			t.centers[i] = Tokens(c)
+		}
+	}
+	// Pad missing groups (fewer unique values than groups) by repeating the
+	// last center so every group index is valid.
+	for i := len(centers); i < NumTokenGroups; i++ {
+		t.centers[i] = t.centers[len(centers)-1]
+	}
+	// Assign every variant to its nearest center.
+	for op := 0; op < isa.NumOps; op++ {
+		for ll := 0; ll < 2; ll++ {
+			cost := t.baseCost[op][ll] / TokenUnitPJ
+			best, bestD := 0, abs(cost-float64(t.centers[0]))
+			for g := 1; g < NumTokenGroups; g++ {
+				if d := abs(cost - float64(t.centers[g])); d < bestD {
+					best, bestD = g, d
+				}
+			}
+			t.group[op][ll] = uint8(best)
+		}
+	}
+	return t
+}
+
+// Group returns the k-means group index of an instruction variant.
+func (t *TokenModel) Group(op isa.Op, longLat bool) int {
+	ll := 0
+	if longLat {
+		ll = 1
+	}
+	return int(t.group[op][ll])
+}
+
+// BaseTokens returns the quantized base token cost of an instruction
+// variant: the center of its k-means group.
+func (t *TokenModel) BaseTokens(op isa.Op, longLat bool) int {
+	return t.centers[t.Group(op, longLat)]
+}
+
+// ExactBaseTokens returns the unquantized base token cost. The difference
+// between BaseTokens and ExactBaseTokens is the quantization error the paper
+// bounds below 1%.
+func (t *TokenModel) ExactBaseTokens(op isa.Op, longLat bool) float64 {
+	ll := 0
+	if longLat {
+		ll = 1
+	}
+	return t.baseCost[op][ll] / TokenUnitPJ
+}
+
+// GroupCenters returns the group centers in tokens, ascending.
+func (t *TokenModel) GroupCenters() []int {
+	out := make([]int, NumTokenGroups)
+	copy(out, t.centers[:])
+	return out
+}
+
+// PTHTSize is the number of entries in the Power-Token History Table (paper
+// §III.B: an 8K-entry table accessed by PC).
+const PTHTSize = 8192
+
+// PTHT is the Power-Token History Table: a direct-mapped, PC-indexed table
+// storing the token cost of each static instruction's last execution. It is
+// updated at commit with the tokens actually consumed and read at fetch to
+// estimate the power of in-flight instructions without performance counters.
+type PTHT struct {
+	entries []uint16
+	mask    uint64
+	// meter/core let the table charge its own access energy, which the
+	// paper includes in its results ("the extra power consumption of the
+	// PTHT structure is also accounted").
+	meter *Meter
+	core  int
+}
+
+// NewPTHT returns a PTHT of the standard size, charging access energy for
+// the given core on the meter. A nil meter disables energy accounting (used
+// in unit tests).
+func NewPTHT(meter *Meter, core int) *PTHT {
+	return NewPTHTSized(meter, core, PTHTSize)
+}
+
+// NewPTHTSized returns a PTHT with the given entry count (a power of two;
+// the ablation knob for the paper's 8K-entry choice).
+func NewPTHTSized(meter *Meter, core, size int) *PTHT {
+	if size < 1 || size&(size-1) != 0 {
+		panic("power: PTHT size must be a positive power of two")
+	}
+	return &PTHT{
+		entries: make([]uint16, size),
+		mask:    uint64(size - 1),
+		meter:   meter,
+		core:    core,
+	}
+}
+
+func (p *PTHT) index(pc uint64) uint64 {
+	// PCs are word-aligned; drop the low bits so neighboring instructions
+	// map to neighboring entries.
+	return (pc >> 2) & p.mask
+}
+
+// Lookup returns the stored token cost of the instruction at pc, or def if
+// the entry has never been written (a cold entry predicts the default cost).
+func (p *PTHT) Lookup(pc uint64, def int) int {
+	if p.meter != nil {
+		p.meter.Add(p.core, EvPTHT, 1)
+	}
+	v := p.entries[p.index(pc)]
+	if v == 0 {
+		return def
+	}
+	return int(v)
+}
+
+// Update stores the token cost of the instruction at pc, saturating to the
+// 16-bit entry width.
+func (p *PTHT) Update(pc uint64, tokens int) {
+	if p.meter != nil {
+		p.meter.Add(p.core, EvPTHT, 1)
+	}
+	if tokens < 1 {
+		tokens = 1
+	}
+	if tokens > 0xFFFF {
+		tokens = 0xFFFF
+	}
+	p.entries[p.index(pc)] = uint16(tokens)
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"ptbsim/internal/core"
+	"ptbsim/internal/workload"
+)
+
+// TestAllBenchmarksThroughFullStack runs every Table-2 workload through the
+// complete simulator (cores + MOESI + mesh + power + PTB) at a tiny scale
+// and checks the per-benchmark invariants that the figure shapes rely on.
+func TestAllBenchmarksThroughFullStack(t *testing.T) {
+	type expect struct {
+		locks    bool // must show lock-acquire time
+		barriers bool // must show internal barrier time beyond the final one
+	}
+	expectations := map[string]expect{
+		"barnes":       {locks: true, barriers: true},
+		"cholesky":     {locks: true, barriers: false},
+		"fft":          {locks: false, barriers: true},
+		"ocean":        {locks: false, barriers: true},
+		"radix":        {locks: false, barriers: true},
+		"raytrace":     {locks: true, barriers: false},
+		"tomcatv":      {locks: false, barriers: true},
+		"unstructured": {locks: true, barriers: true},
+		"waternsq":     {locks: true, barriers: true},
+		"watersp":      {locks: false, barriers: true},
+		"blackscholes": {locks: false, barriers: false},
+		"fluidanimate": {locks: true, barriers: true},
+		"swaptions":    {locks: false, barriers: false},
+		// x264's ordering locks are probabilistic (LockProb 0.2) and may
+		// not fire in a tiny scaled run, so only the absence of *heavy*
+		// locking is asserted.
+		"x264": {locks: false, barriers: false},
+	}
+	for _, spec := range workload.Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			r := mustRun(t, tiny(spec.Name, 4, TechPTB, core.PolicyDynamic))
+			if r.Committed == 0 {
+				t.Fatal("no instructions committed")
+			}
+			exp := expectations[spec.Name]
+			if exp.locks && r.ClassFrac[1] == 0 {
+				t.Errorf("expected lock time, breakdown %v", r.ClassFrac)
+			}
+			if !exp.locks && r.ClassFrac[1] > 0.05 {
+				t.Errorf("unexpected heavy lock time %.1f%%", r.ClassFrac[1]*100)
+			}
+			if r.EnergyJ <= 0 || r.MeanPowerW <= 0 {
+				t.Errorf("degenerate power result %+v", r)
+			}
+			if r.SpinEnergyFrac < 0 || r.SpinEnergyFrac > 1 {
+				t.Errorf("spin energy fraction out of range: %v", r.SpinEnergyFrac)
+			}
+		})
+	}
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"ptbsim/internal/core"
+	"ptbsim/internal/workload"
+)
+
+func testRunner() *Runner {
+	r := NewRunner(0.05)
+	r.MaxCycles = 10_000_000
+	return r
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := testRunner()
+	a := r.Base("fft", 2)
+	b := r.Base("fft", 2)
+	if a != b {
+		t.Fatal("base run not cached (pointer changed)")
+	}
+	c := r.Run("fft", 2, TechPTB, core.PolicyToAll, 0)
+	d := r.Run("fft", 2, TechPTB, core.PolicyToAll, 0)
+	if c != d {
+		t.Fatal("technique run not cached")
+	}
+	if r.Run("fft", 2, TechPTB, core.PolicyToAll, 0.2) == c {
+		t.Fatal("relax variants must not share a cache slot")
+	}
+}
+
+func TestAllBenchmarksList(t *testing.T) {
+	bs := AllBenchmarks()
+	if len(bs) != 14 {
+		t.Fatalf("%d benchmarks", len(bs))
+	}
+	if CoreCounts()[3] != 16 {
+		t.Fatal("core counts wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "Test",
+		Title:  "render check",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"x", "1"}, {"yyyy", "2"}},
+	}
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Test — render check") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "yyyy") {
+		t.Fatalf("missing cells: %q", out)
+	}
+}
+
+func TestTable1Contents(t *testing.T) {
+	tab := testRunner().Table1()
+	joined := ""
+	for _, row := range tab.Rows {
+		joined += strings.Join(row, " ") + "\n"
+	}
+	for _, want := range []string{"MOESI", "128 entries + 64", "64KB, 16 bit Gshare",
+		"2D mesh", "300 cycles", "1MB/core"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2Contents(t *testing.T) {
+	tab := testRunner().Table2()
+	if len(tab.Rows) != 14 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "barnes" || tab.Rows[13][1] != "x264" {
+		t.Fatal("paper order broken")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := testRunner()
+	tab := r.Fig2([]string{"fft", "swaptions"}, 2)
+	if len(tab.Rows) != 3 { // 2 benches + Avg
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[2][0] != "Avg." {
+		t.Fatal("missing average row")
+	}
+	if len(tab.Header) != 7 {
+		t.Fatalf("%d columns", len(tab.Header))
+	}
+	// Values parse as floats.
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				t.Fatalf("unparseable cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := testRunner()
+	tab := r.Fig3([]string{"ocean"}, []int{2, 4})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Breakdown fractions sum to ~100.
+	for _, row := range tab.Rows {
+		sum := 0.0
+		for _, cell := range row[2:] {
+			v, _ := strconv.ParseFloat(cell, 64)
+			sum += v
+		}
+		if sum < 99 || sum > 101 {
+			t.Fatalf("breakdown sums to %v", sum)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := testRunner()
+	tab := r.Fig9([]string{"fft"}, []int{2})
+	if len(tab.Rows) != 2 { // 2 policies × 1 core count
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[0][0], "ToOne") || !strings.Contains(tab.Rows[1][0], "ToAll") {
+		t.Fatalf("policy labels wrong: %v %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+}
+
+func TestFigDetailShape(t *testing.T) {
+	r := testRunner()
+	tab := r.FigDetail("Figure 10", []string{"fft", "ocean"}, 2, core.PolicyToAll)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if len(tab.Header) != 9 {
+		t.Fatalf("%d cols", len(tab.Header))
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := testRunner()
+	tab := r.Fig13([]string{"fft"}, 2)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r := testRunner()
+	tab := r.Fig14([]string{"fft"}, []int{2}, 0.2)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestSec4DShape(t *testing.T) {
+	r := testRunner()
+	tab := r.Sec4D([]string{"fft"}, 2)
+	if len(tab.Rows) != 4 { // 3 techniques + ideal
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[3][0] != "ideal" || tab.Rows[3][3] != "32" {
+		t.Fatalf("ideal row wrong: %v", tab.Rows[3])
+	}
+	// Cores-at-TDP must not exceed the ideal 32.
+	for _, row := range tab.Rows[:3] {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		if v > 32 || v < 1 {
+			t.Fatalf("implausible cores-at-TDP %v", row)
+		}
+	}
+}
+
+func TestFig8Static(t *testing.T) {
+	tab := testRunner().Fig8()
+	if tab.Rows[3][4] != "10" {
+		t.Fatalf("16-core total latency %v, want 10", tab.Rows[3][4])
+	}
+}
+
+func TestFigTraces(t *testing.T) {
+	trace, budget := Fig5Trace(0.05)
+	if len(trace) == 0 || budget <= 0 {
+		t.Fatal("fig5 trace empty")
+	}
+	ct, local := Fig6Trace(0.05)
+	if len(ct) == 0 || local <= 0 {
+		t.Fatal("fig6 trace empty")
+	}
+	// The spinning-core trace must show clear variation (peaks + spin
+	// floor).
+	minV, maxV := ct[0], ct[0]
+	for _, v := range ct {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= minV {
+		t.Fatal("fig6 trace is flat")
+	}
+}
+
+func TestAblationKnobsWireThrough(t *testing.T) {
+	// Sanity: the ablation knobs produce runnable systems.
+	spec, ok := workload.ByName("fft")
+	if !ok {
+		t.Fatal("unknown benchmark")
+	}
+	for _, cfg := range []Config{
+		{Benchmark: spec, Cores: 2, Technique: TechPTB, WireBits: 2, WorkloadScale: 0.04},
+		{Benchmark: spec, Cores: 2, Technique: TechPTB, TokenGroups: 3, WorkloadScale: 0.04},
+		{Benchmark: spec, Cores: 2, Technique: TechDVFS, DVFSWindow: 128, WorkloadScale: 0.04},
+	} {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Committed == 0 {
+			t.Fatal("no progress with ablation knob")
+		}
+	}
+}
+
+func TestWarmFillsCache(t *testing.T) {
+	r := testRunner()
+	r.Warm([]string{"fft"}, []int{2}, 0.2, 3)
+	// Everything the figures need must now be cached: re-requesting returns
+	// identical pointers without re-simulating.
+	a := r.Run("fft", 2, TechPTB, core.PolicyToAll, 0)
+	b := r.Run("fft", 2, TechPTB, core.PolicyToAll, 0)
+	if a != b {
+		t.Fatal("warm did not populate the cache")
+	}
+	if r.Run("fft", 2, TechPTB, core.PolicyToAll, 0.2).Cycles == 0 {
+		t.Fatal("relaxed variant missing")
+	}
+}
+
+func TestWarmMatchesSequential(t *testing.T) {
+	seq := testRunner()
+	par := testRunner()
+	par.Warm([]string{"fft"}, []int{2}, 0, 4)
+	a := seq.Run("fft", 2, TechPTB, core.PolicyDynamic, 0)
+	b := par.Run("fft", 2, TechPTB, core.PolicyDynamic, 0)
+	if a.Cycles != b.Cycles || a.EnergyJ != b.EnergyJ {
+		t.Fatalf("parallel warm produced different results: %d/%v vs %d/%v",
+			a.Cycles, a.EnergyJ, b.Cycles, b.EnergyJ)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := &Table{ID: "Figure X", Title: "md check", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}}
+	var sb strings.Builder
+	tab.RenderMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"### Figure X — md check", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := &Table{ID: "Figure X", Title: "csv check", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}}
+	var sb strings.Builder
+	tab.RenderCSV(&sb)
+	out := sb.String()
+	for _, want := range []string{"# Figure X — csv check", "a,b", "1,2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q in %q", want, out)
+		}
+	}
+}

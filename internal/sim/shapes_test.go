@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"ptbsim/internal/core"
+	"ptbsim/internal/metrics"
+)
+
+// TestPaperShapesRegression locks in the qualitative results the
+// reproduction stands on (EXPERIMENTS.md): if a future change breaks one of
+// the paper's headline orderings, this test names it. It runs a reduced
+// sweep (3 representative benchmarks, 8 cores), so thresholds are
+// deliberately loose — shapes, not magnitudes.
+func TestPaperShapesRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape regression skipped in -short mode")
+	}
+	r := NewRunner(0.15)
+	r.MaxCycles = 20_000_000
+	benches := []string{"ocean", "unstructured", "blackscholes"}
+	const cores = 8
+
+	avg := func(tech Technique, pol core.Policy, metric func(*metrics.RunResult, *metrics.RunResult) float64) float64 {
+		s := 0.0
+		for _, b := range benches {
+			s += metric(r.Run(b, cores, tech, pol, 0), r.Base(b, cores))
+		}
+		return s / float64(len(benches))
+	}
+
+	aDFS := avg(TechDFS, 0, metrics.NormalizedAoPBPct)
+	aDVFS := avg(TechDVFS, 0, metrics.NormalizedAoPBPct)
+	a2lvl := avg(Tech2Level, 0, metrics.NormalizedAoPBPct)
+	aPTB := avg(TechPTB, core.PolicyToAll, metrics.NormalizedAoPBPct)
+
+	// Shape 1: coarse-grained DVFS-family techniques cannot track the
+	// budget the way fine-grained ones do (paper: DVFS/DFS ≥65%,
+	// fine-grained ~10%).
+	if aDFS <= aDVFS {
+		t.Errorf("DFS (%.1f%%) should leak more AoPB than DVFS (%.1f%%)", aDFS, aDVFS)
+	}
+	if a2lvl >= aDVFS || aPTB >= aDVFS {
+		t.Errorf("fine-grained AoPB (2lvl %.1f%%, PTB %.1f%%) should be well below DVFS (%.1f%%)",
+			a2lvl, aPTB, aDVFS)
+	}
+	if aPTB > 0.6*aDFS {
+		t.Errorf("PTB AoPB %.1f%% not a clear improvement over DFS %.1f%%", aPTB, aDFS)
+	}
+
+	// Shape 2: accuracy improves with core count (paper Fig. 9).
+	a2c := 0.0
+	for _, b := range benches {
+		a2c += metrics.NormalizedAoPBPct(r.Run(b, 2, TechPTB, core.PolicyToAll, 0), r.Base(b, 2))
+	}
+	a2c /= float64(len(benches))
+	if aPTB >= a2c {
+		t.Errorf("PTB AoPB did not improve from 2 cores (%.1f%%) to %d cores (%.1f%%)", a2c, cores, aPTB)
+	}
+
+	// Shape 3: PTB recovers throttling performance on the lock-bound app
+	// (paper Fig. 13's unstructured story).
+	sPTB := metrics.SlowdownPct(r.Run("unstructured", cores, TechPTB, core.PolicyDynamic, 0), r.Base("unstructured", cores))
+	s2lvl := metrics.SlowdownPct(r.Run("unstructured", cores, Tech2Level, 0, 0), r.Base("unstructured", cores))
+	if sPTB >= s2lvl {
+		t.Errorf("PTB slowdown %.1f%% not below plain 2level %.1f%% on unstructured", sPTB, s2lvl)
+	}
+
+	// Shape 4: relaxing trades accuracy away (paper §IV.C).
+	aRelax := avg(TechPTB, core.PolicyToAll, func(run, base *metrics.RunResult) float64 {
+		return metrics.NormalizedAoPBPct(r.Run(run.Benchmark, cores, TechPTB, core.PolicyToAll, 0.20), base)
+	})
+	if aRelax <= aPTB {
+		t.Errorf("relaxed PTB AoPB %.1f%% not above strict %.1f%%", aRelax, aPTB)
+	}
+}

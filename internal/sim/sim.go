@@ -1,0 +1,372 @@
+// Package sim composes the full simulated CMP — cores, caches, directory,
+// mesh, memory, power, thermal, synchronization and budget controllers —
+// and runs benchmark experiments. It is the layer the public API, the
+// command-line tools and the paper-reproduction benchmarks drive.
+package sim
+
+import (
+	"fmt"
+
+	"ptbsim/internal/budget"
+	"ptbsim/internal/cache"
+	"ptbsim/internal/core"
+	"ptbsim/internal/cpu"
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/isa"
+	"ptbsim/internal/mesh"
+	"ptbsim/internal/metrics"
+	"ptbsim/internal/power"
+	"ptbsim/internal/syncprim"
+	"ptbsim/internal/thermal"
+	"ptbsim/internal/workload"
+)
+
+// Technique selects the power-budget mechanism under test (§III.C, §III.E).
+type Technique string
+
+// The evaluated techniques.
+const (
+	TechNone   Technique = "none"
+	TechDVFS   Technique = "dvfs"
+	TechDFS    Technique = "dfs"
+	Tech2Level Technique = "2level"
+	TechPTB    Technique = "ptb"
+	// TechPTBSpinGate adds the paper's future-work extension: PTB's
+	// power-pattern spin detector duty-cycle-gates spinning cores.
+	TechPTBSpinGate Technique = "ptbgate"
+	// TechMaxBIPS is the Isci et al. [1] related-work baseline: global
+	// DVFS-mode selection maximizing counter-measured throughput under the
+	// budget — the approach §II.C argues fails for parallel workloads.
+	TechMaxBIPS Technique = "maxbips"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Benchmark is the workload (required).
+	Benchmark *workload.Spec
+	// Cores is the CMP size (default 4).
+	Cores int
+	// Technique is the budget mechanism (default TechNone).
+	Technique Technique
+	// Policy selects the PTB distribution policy.
+	Policy core.Policy
+	// RelaxFrac relaxes the trigger threshold (§IV.C), e.g. 0.20 = +20%.
+	RelaxFrac float64
+	// BudgetFrac is the global budget as a fraction of peak power
+	// (default 0.5, the paper's headline configuration).
+	BudgetFrac float64
+	// WorkloadScale shortens runs for tests/benchmarks (default 1.0).
+	WorkloadScale float64
+	// MaxCycles is a safety cap (default 50M).
+	MaxCycles int64
+	// TraceEvery records the chip power every N cycles (0 = off).
+	TraceEvery int64
+	// TraceCore records one core's per-cycle power at the same rate (pass
+	// a negative value to disable; the core trace is only collected when
+	// TraceEvery is set). Used for the Fig. 5/6 traces.
+	TraceCore int
+	// PTBLatency overrides the balancer latency (pessimistic experiment).
+	PTBLatency *core.Latency
+
+	// Ablation knobs (zero = paper defaults): k-means token groups (8),
+	// PTB token-wire width in bits (4), and the DVFS decision window.
+	TokenGroups int
+	WireBits    int
+	DVFSWindow  int64
+
+	// PTBClusterSize, when >0, replaces the single chip-wide balancer with
+	// per-cluster balancers of that many cores (the paper's §III.E.2
+	// scalability scheme for >32-core CMPs).
+	PTBClusterSize int
+
+	// CPU and Cache allow overriding Table-1 defaults (including the PTHT
+	// size via CPU.PTHTSize).
+	CPU   cpu.Config
+	Cache cache.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.Technique == "" {
+		c.Technique = TechNone
+	}
+	if c.BudgetFrac == 0 {
+		c.BudgetFrac = 0.5
+	}
+	if c.WorkloadScale == 0 {
+		c.WorkloadScale = 1
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 50_000_000
+	}
+	if c.CPU.ROBSize == 0 {
+		c.CPU = cpu.DefaultConfig()
+	}
+	return c
+}
+
+// memAdapter bridges the cache hierarchy to the cpu.MemSystem interface.
+type memAdapter struct{ h *cache.Hierarchy }
+
+func (a memAdapter) Read(core int, addr uint64, done func())  { a.h.Read(core, addr, done) }
+func (a memAdapter) Write(core int, addr uint64, done func()) { a.h.Write(core, addr, done) }
+func (a memAdapter) FetchProbe(core int, addr uint64) bool    { return a.h.L1I[core].Probe(addr) }
+func (a memAdapter) FetchMiss(core int, addr uint64, done func()) {
+	a.h.Fetch(core, addr, done)
+}
+
+// System is one fully wired CMP simulation.
+type System struct {
+	cfg   Config
+	q     *eventq.Queue
+	meter *power.Meter
+	hier  *cache.Hierarchy
+	sync  *syncprim.Table
+	cores []*cpu.Core
+	gens  []*workload.Generator
+	st    *budget.ChipState
+	ctl   budget.Controller
+	bal   *core.Balancer // non-nil for TechPTB
+	col   *metrics.Collector
+	therm *thermal.Model
+
+	perCore   []float64
+	classes   []isa.SyncClass
+	coreTrace []float64
+
+	cycle   int64
+	peakPJ  float64
+	hitMax  bool
+	stopped bool
+}
+
+// NewSystem builds a system from the config.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Benchmark == nil {
+		return nil, fmt.Errorf("sim: config needs a Benchmark")
+	}
+	spec := cfg.Benchmark
+	if cfg.WorkloadScale != 1 {
+		spec = spec.Scaled(cfg.WorkloadScale)
+	}
+
+	s := &System{cfg: cfg, q: &eventq.Queue{}}
+	n := cfg.Cores
+	s.meter = power.NewMeter(n)
+	net := mesh.New(n, s.q, s.meter)
+	s.hier = cache.NewHierarchy(n, s.q, s.meter, net, cfg.Cache)
+	s.sync = syncprim.NewTable(n, spec.NumLocks, 1)
+
+	tm := power.NewTokenModel()
+	if cfg.TokenGroups > 0 {
+		tm = power.NewTokenModelK(cfg.TokenGroups)
+	}
+	mem := memAdapter{s.hier}
+	for i := 0; i < n; i++ {
+		gen := workload.NewGenerator(spec, s.sync, i, n)
+		s.gens = append(s.gens, gen)
+		s.cores = append(s.cores, cpu.New(i, cfg.CPU, s.meter, tm, mem, s.sync, gen))
+	}
+
+	// The budget is a fraction of the processor's rated peak (§III.C);
+	// the rated peak derates the structural worst case per
+	// power.SustainedPeakFrac.
+	s.peakPJ = power.PeakCoreCyclePJ(cfg.CPU.ROBSize) * power.SustainedPeakFrac * float64(n)
+	globalBudget := cfg.BudgetFrac * s.peakPJ
+	s.st = budget.NewChipState(s.cores, s.meter, s.sync, globalBudget)
+
+	switch cfg.Technique {
+	case TechNone:
+		s.ctl = budget.None{}
+	case TechDVFS:
+		d := budget.NewDVFS(n)
+		if cfg.DVFSWindow > 0 {
+			d.SetWindow(cfg.DVFSWindow)
+		}
+		s.ctl = d
+	case TechDFS:
+		d := budget.NewDFS(n)
+		if cfg.DVFSWindow > 0 {
+			d.SetWindow(cfg.DVFSWindow)
+		}
+		s.ctl = d
+	case TechMaxBIPS:
+		s.ctl = budget.NewMaxBIPS(n)
+	case Tech2Level:
+		tl := budget.NewTwoLevel(n, cfg.RelaxFrac)
+		if cfg.DVFSWindow > 0 {
+			tl.DVFS.SetWindow(cfg.DVFSWindow)
+		}
+		s.ctl = tl
+	case TechPTB, TechPTBSpinGate:
+		inner := budget.NewTwoLevel(n, cfg.RelaxFrac)
+		if cfg.DVFSWindow > 0 {
+			inner.DVFS.SetWindow(cfg.DVFSWindow)
+		}
+		lat := core.LatencyFor(n)
+		if cfg.PTBLatency != nil {
+			lat = *cfg.PTBLatency
+		}
+		if cfg.PTBClusterSize > 0 && cfg.Technique == TechPTB {
+			s.ctl = core.NewClusteredBalancer(n, cfg.PTBClusterSize, cfg.Policy, inner)
+			break
+		}
+		s.bal = core.NewBalancerLatency(n, cfg.Policy, inner, lat)
+		if cfg.WireBits > 0 {
+			s.bal.SetWireBits(cfg.WireBits)
+		}
+		if cfg.Technique == TechPTBSpinGate {
+			s.ctl = core.NewSpinGate(s.bal)
+		} else {
+			s.ctl = s.bal
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown technique %q", cfg.Technique)
+	}
+
+	s.col = metrics.NewCollector(n, globalBudget, cfg.TraceEvery)
+	s.therm = thermal.New(n, metrics.CycleSeconds)
+	s.perCore = make([]float64, n)
+	s.classes = make([]isa.SyncClass, n)
+	return s, nil
+}
+
+// GlobalBudgetPJ returns the per-cycle budget in picojoules.
+func (s *System) GlobalBudgetPJ() float64 { return s.cfg.BudgetFrac * s.peakPJ }
+
+// PeakPJ returns the chip peak per-cycle energy.
+func (s *System) PeakPJ() float64 { return s.peakPJ }
+
+// Collector exposes the metrics collector (for traces).
+func (s *System) Collector() *metrics.Collector { return s.col }
+
+// Balancer returns the PTB balancer, or nil for other techniques.
+func (s *System) Balancer() *core.Balancer { return s.bal }
+
+// Sync exposes the synchronization table.
+func (s *System) Sync() *syncprim.Table { return s.sync }
+
+// CoreTrace returns the per-cycle power samples of Config.TraceCore.
+func (s *System) CoreTrace() []float64 { return s.coreTrace }
+
+// Cycle returns the current simulation cycle.
+func (s *System) Cycle() int64 { return s.cycle }
+
+// done reports whether every thread has drained.
+func (s *System) done() bool {
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the simulation by exactly one global cycle.
+func (s *System) Step() {
+	s.cycle++
+	s.q.RunUntil(s.cycle)
+	for _, c := range s.cores {
+		c.Tick()
+	}
+	for i, c := range s.cores {
+		if c.Knobs().SleepGate {
+			s.meter.Add(i, power.EvLeakageSleep, 1)
+		} else {
+			s.meter.Add(i, power.EvLeakage, 1)
+		}
+	}
+	s.st.Refresh(s.cycle)
+	s.ctl.Tick(s.st)
+	s.meter.EndCycle(s.perCore)
+	for i := range s.classes {
+		s.classes[i] = s.sync.State(i)
+	}
+	s.col.Record(s.perCore, s.classes)
+	s.therm.Record(s.perCore)
+	if s.cfg.TraceCore >= 0 && s.cfg.TraceEvery > 0 && s.cycle%s.cfg.TraceEvery == 0 {
+		s.coreTrace = append(s.coreTrace, s.perCore[s.cfg.TraceCore])
+	}
+}
+
+// Run executes the benchmark to completion (or the cycle cap) and returns
+// the result summary.
+func (s *System) Run() *metrics.RunResult {
+	if s.stopped {
+		panic("sim: Run called twice")
+	}
+	for {
+		s.Step()
+		if s.done() {
+			break
+		}
+		if s.cycle >= s.cfg.MaxCycles {
+			s.hitMax = true
+			break
+		}
+	}
+	s.stopped = true
+	return s.result()
+}
+
+// RunCycles advances at most n cycles (for trace tooling); it stops early
+// if the workload completes and reports whether it did.
+func (s *System) RunCycles(n int64) bool {
+	for i := int64(0); i < n; i++ {
+		s.Step()
+		if s.done() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *System) result() *metrics.RunResult {
+	var committed int64
+	for _, c := range s.cores {
+		committed += c.Stats().Committed
+	}
+	label := string(s.cfg.Technique)
+	pol := ""
+	if s.cfg.Technique == TechPTB || s.cfg.Technique == TechPTBSpinGate {
+		pol = s.cfg.Policy.String()
+	}
+	comp := make(map[string]float64)
+	for k := 0; k < power.NumEventKinds; k++ {
+		kind := power.EventKind(k)
+		for i := 0; i < s.cfg.Cores; i++ {
+			comp[kind.Component()] += s.meter.KindPJ(i, kind) * metrics.PJToJ
+		}
+	}
+	return &metrics.RunResult{
+		Benchmark:      s.cfg.Benchmark.Name,
+		Cores:          s.cfg.Cores,
+		Technique:      label,
+		Policy:         pol,
+		Cycles:         s.col.Cycles(),
+		Committed:      committed,
+		EnergyJ:        s.col.EnergyJ(),
+		AoPBJ:          s.col.AoPBJ(),
+		MeanPowerW:     s.col.MeanPowerW(),
+		StdPowerW:      s.col.StdPowerW(),
+		SpinEnergyFrac: s.col.SpinEnergyFrac(),
+		ClassFrac:      s.col.ClassCycleFrac(),
+		OverBudgetFrac: s.col.OverBudgetFrac(),
+		MeanTempC:      s.therm.MeanTempC(),
+		StdTempC:       s.therm.StdTempC(),
+		HitMaxCycles:   s.hitMax,
+		ComponentJ:     comp,
+	}
+}
+
+// Run is the one-shot convenience wrapper.
+func Run(cfg Config) (*metrics.RunResult, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}

@@ -1,0 +1,97 @@
+package syncprim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/isa"
+	"ptbsim/internal/xrand"
+)
+
+// TestPropertyLockNeverDoubleGranted: under any interleaving of try/unlock
+// operations, at most one core holds each lock and only successful tries
+// transfer ownership.
+func TestPropertyLockNeverDoubleGranted(t *testing.T) {
+	f := func(seed uint64) bool {
+		const cores = 6
+		const locks = 3
+		tab := NewTable(cores, locks, 1)
+		rng := xrand.New(seed)
+		holder := make([]int, locks)
+		for i := range holder {
+			holder[i] = -1
+		}
+		for step := 0; step < 3000; step++ {
+			c := rng.Intn(cores)
+			l := int32(rng.Intn(locks))
+			if holder[l] == c {
+				// Holder releases.
+				tab.Eval(c, isa.Inst{Op: isa.OpAtomicRMW, SyncOp: isa.SyncUnlock, SyncID: l})
+				holder[l] = -1
+				continue
+			}
+			r := tab.Eval(c, isa.Inst{Op: isa.OpAtomicRMW, SyncOp: isa.SyncLockTry, SyncID: l})
+			if r == 1 {
+				if holder[l] != -1 {
+					return false // double grant
+				}
+				holder[l] = c
+			} else if holder[l] == -1 {
+				return false // free lock refused
+			}
+			// Spin reads agree with the model.
+			spin := tab.Eval(c, isa.Inst{Op: isa.OpLoad, SyncOp: isa.SyncSpinLock, SyncID: l})
+			if (spin == 1) != (holder[l] == -1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyBarrierGenerations: for any arrival order, each episode has
+// exactly one "last" arriver, generations advance by one per episode, and
+// a generation only reads as complete after its episode finished.
+func TestPropertyBarrierGenerations(t *testing.T) {
+	f := func(seed uint64, parties8 uint8) bool {
+		parties := 2 + int(parties8)%6
+		tab := NewTable(parties, 0, 1)
+		rng := xrand.New(seed)
+		order := make([]int, parties)
+		for episode := 0; episode < 10; episode++ {
+			rng.Perm(order)
+			lastSeen := 0
+			for i, c := range order {
+				r := tab.Eval(c, isa.Inst{Op: isa.OpAtomicRMW, SyncOp: isa.SyncBarrierArrive, SyncID: 0})
+				last, gen := DecodeArrive(r)
+				if gen != int64(episode) {
+					return false
+				}
+				if last {
+					lastSeen++
+					if i != parties-1 {
+						return false // someone was "last" early
+					}
+				}
+				// The episode must not read complete until it is.
+				done := tab.Eval(c, isa.Inst{Op: isa.OpLoad, SyncOp: isa.SyncSpinBarrier, SyncID: 0, SyncArg: gen})
+				if i < parties-1 && done == 1 {
+					return false
+				}
+				if i == parties-1 && done != 1 {
+					return false
+				}
+			}
+			if lastSeen != 1 {
+				return false
+			}
+		}
+		return tab.BarrierEpisodes(0) == 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package syncprim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/isa"
+)
+
+func lockTry(id int32) isa.Inst {
+	return isa.Inst{Op: isa.OpAtomicRMW, SyncOp: isa.SyncLockTry, SyncID: id}
+}
+
+func unlock(id int32) isa.Inst {
+	return isa.Inst{Op: isa.OpAtomicRMW, SyncOp: isa.SyncUnlock, SyncID: id}
+}
+
+func arrive(id int32) isa.Inst {
+	return isa.Inst{Op: isa.OpAtomicRMW, SyncOp: isa.SyncBarrierArrive, SyncID: id}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	tab := NewTable(4, 1, 0)
+	if tab.Eval(0, lockTry(0)) != 1 {
+		t.Fatal("first TryLock must win")
+	}
+	for c := 1; c < 4; c++ {
+		if tab.Eval(c, lockTry(0)) != 0 {
+			t.Fatalf("core %d acquired a held lock", c)
+		}
+	}
+	if tab.LockHolder(0) != 0 {
+		t.Fatalf("holder = %d, want 0", tab.LockHolder(0))
+	}
+	tab.Eval(0, unlock(0))
+	if tab.LockHolder(0) != -1 {
+		t.Fatal("lock still held after unlock")
+	}
+	if tab.Eval(2, lockTry(0)) != 1 {
+		t.Fatal("TryLock after release must win")
+	}
+	if tab.Acquisitions(0) != 2 || tab.ContendedTries(0) != 3 {
+		t.Fatalf("stats: acq=%d cont=%d", tab.Acquisitions(0), tab.ContendedTries(0))
+	}
+}
+
+func TestSpinLockRead(t *testing.T) {
+	tab := NewTable(2, 1, 0)
+	spin := isa.Inst{Op: isa.OpLoad, SyncOp: isa.SyncSpinLock, SyncID: 0}
+	if tab.Eval(1, spin) != 1 {
+		t.Fatal("free lock should read as free")
+	}
+	tab.Eval(0, lockTry(0))
+	if tab.Eval(1, spin) != 0 {
+		t.Fatal("held lock should read as held")
+	}
+}
+
+func TestBarrierRelease(t *testing.T) {
+	tab := NewTable(3, 0, 1)
+	var results []int64
+	for c := 0; c < 3; c++ {
+		results = append(results, tab.Eval(c, arrive(0)))
+	}
+	for i, r := range results[:2] {
+		last, gen := DecodeArrive(r)
+		if last || gen != 0 {
+			t.Fatalf("arriver %d: last=%v gen=%d", i, last, gen)
+		}
+	}
+	last, gen := DecodeArrive(results[2])
+	if !last || gen != 0 {
+		t.Fatalf("final arriver: last=%v gen=%d", last, gen)
+	}
+	spin := isa.Inst{Op: isa.OpLoad, SyncOp: isa.SyncSpinBarrier, SyncID: 0, SyncArg: 0}
+	if tab.Eval(0, spin) != 1 {
+		t.Fatal("barrier generation 0 should have completed")
+	}
+	spin.SyncArg = 1
+	if tab.Eval(0, spin) != 0 {
+		t.Fatal("generation 1 should not have completed")
+	}
+	if tab.BarrierEpisodes(0) != 1 {
+		t.Fatalf("episodes = %d", tab.BarrierEpisodes(0))
+	}
+}
+
+func TestBarrierMultipleEpisodes(t *testing.T) {
+	tab := NewTable(2, 0, 1)
+	for ep := 0; ep < 5; ep++ {
+		r0 := tab.Eval(0, arrive(0))
+		r1 := tab.Eval(1, arrive(0))
+		l0, g0 := DecodeArrive(r0)
+		l1, g1 := DecodeArrive(r1)
+		if l0 || !l1 {
+			t.Fatalf("episode %d: last flags %v %v", ep, l0, l1)
+		}
+		if g0 != int64(ep) || g1 != int64(ep) {
+			t.Fatalf("episode %d: generations %d %d", ep, g0, g1)
+		}
+	}
+}
+
+func TestEncodeDecodeArriveProperty(t *testing.T) {
+	f := func(gen uint32, last bool) bool {
+		l, g := DecodeArrive(EncodeArrive(last, int64(gen)))
+		return l == last && g == int64(gen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressesDistinct(t *testing.T) {
+	tab := NewTable(4, 8, 4)
+	seen := map[uint64]bool{}
+	check := func(a uint64) {
+		if a < Region {
+			t.Fatalf("sync address %#x below region base", a)
+		}
+		if a%isa.CacheLineSize != 0 {
+			t.Fatalf("sync address %#x not line aligned", a)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate sync address %#x", a)
+		}
+		seen[a] = true
+	}
+	for i := int32(0); i < 8; i++ {
+		check(tab.LockAddr(i))
+	}
+	for i := int32(0); i < 4; i++ {
+		check(tab.BarrierCounterAddr(i))
+		check(tab.BarrierFlagAddr(i))
+	}
+}
+
+func TestStateTracking(t *testing.T) {
+	tab := NewTable(4, 0, 0)
+	tab.SetState(0, isa.SyncLockAcq)
+	tab.SetState(1, isa.SyncBarrier)
+	tab.SetState(2, isa.SyncBarrier)
+	lockSpin, barrierSpin, busy := tab.SpinBreakdown()
+	if lockSpin != 1 || barrierSpin != 2 || busy != 1 {
+		t.Fatalf("breakdown = %d/%d/%d", lockSpin, barrierSpin, busy)
+	}
+	if tab.State(1) != isa.SyncBarrier {
+		t.Fatal("state readback failed")
+	}
+}
+
+func TestEvalNoneIsNoop(t *testing.T) {
+	tab := NewTable(1, 1, 1)
+	if tab.Eval(0, isa.Inst{Op: isa.OpIntAlu}) != 0 {
+		t.Fatal("plain instruction produced a sync result")
+	}
+}

@@ -1,0 +1,159 @@
+// Package thermal provides a lumped-RC per-core thermal model in the spirit
+// of HotSpot's simplest configuration (Skadron et al. [20]). The paper uses
+// temperature qualitatively — PTB's accurate budget tracking yields a more
+// stable temperature than DVFS — and a first-order RC captures exactly that
+// effect: temperature follows low-passed power.
+package thermal
+
+import "math"
+
+// Model integrates per-core temperatures from per-cycle energies.
+type Model struct {
+	nCores  int
+	tempC   []float64
+	ambient float64
+	rTh     float64 // K/W junction-to-ambient per core tile
+	cTh     float64 // J/K per core tile
+
+	interval     int64 // integration step in cycles
+	cycleSeconds float64
+	accPJ        []float64
+	accCycles    int64
+
+	sum   []float64
+	sumSq []float64
+	n     int64
+}
+
+// Option-free constructor with sensible 32nm-class defaults. The
+// capacitance is scaled down so the thermal time constant (~50µs) is
+// observable within the microsecond-scale windows a cycle-level simulator
+// can afford — the standard acceleration when pairing HotSpot-style models
+// with detailed simulation. Relative effects (PTB's steadier power → lower
+// temperature variation) are preserved; absolute transient speed is not
+// meaningful at either setting.
+const (
+	// DefaultAmbientC is the intra-package ambient temperature.
+	DefaultAmbientC = 45.0
+	// DefaultRth is the per-tile junction-to-ambient thermal resistance.
+	DefaultRth = 8.0 // K/W
+	// DefaultCth is the per-tile thermal capacitance (accelerated).
+	DefaultCth = 6e-6 // J/K → time constant ~48µs ≈ 144k cycles
+	// DefaultInterval is the integration step in cycles.
+	DefaultInterval = 2000
+)
+
+// New creates a thermal model for nCores tiles, all starting at ambient.
+func New(nCores int, cycleSeconds float64) *Model {
+	m := &Model{
+		nCores:       nCores,
+		tempC:        make([]float64, nCores),
+		ambient:      DefaultAmbientC,
+		rTh:          DefaultRth,
+		cTh:          DefaultCth,
+		interval:     DefaultInterval,
+		cycleSeconds: cycleSeconds,
+		accPJ:        make([]float64, nCores),
+		sum:          make([]float64, nCores),
+		sumSq:        make([]float64, nCores),
+	}
+	for i := range m.tempC {
+		m.tempC[i] = m.ambient
+	}
+	return m
+}
+
+// Record adds one cycle's per-core energies (pJ) and advances the RC
+// integration on interval boundaries.
+func (m *Model) Record(perCorePJ []float64) {
+	for i, e := range perCorePJ {
+		m.accPJ[i] += e
+	}
+	m.accCycles++
+	if m.accCycles >= m.interval {
+		// C dT/dt = P - (T - Tamb)/R, integrated exactly over the step.
+		m.integrate()
+	}
+}
+
+// Advance integrates a constant per-core power (given as pJ/cycle) over
+// many cycles at once. It is equivalent to calling Record repeatedly and
+// exists for coarse-grained callers and tests.
+func (m *Model) Advance(perCorePJ []float64, cycles int64) {
+	for cycles > 0 {
+		step := m.interval - m.accCycles
+		if step > cycles {
+			step = cycles
+		}
+		for i, e := range perCorePJ {
+			m.accPJ[i] += e * float64(step)
+		}
+		m.accCycles += step - 1
+		cycles -= step
+		// Reuse Record's boundary handling for the final cycle of the step.
+		m.accCycles++
+		if m.accCycles >= m.interval {
+			m.integrate()
+		}
+	}
+}
+
+// integrate folds the accumulated energy into the RC state.
+func (m *Model) integrate() {
+	dt := float64(m.accCycles) * m.cycleSeconds
+	for i := range m.tempC {
+		pW := m.accPJ[i] * 1e-12 / dt
+		tau := m.rTh * m.cTh
+		tInf := m.ambient + pW*m.rTh
+		m.tempC[i] = tInf + (m.tempC[i]-tInf)*math.Exp(-dt/tau)
+		m.sum[i] += m.tempC[i]
+		m.sumSq[i] += m.tempC[i] * m.tempC[i]
+		m.accPJ[i] = 0
+	}
+	m.n++
+	m.accCycles = 0
+}
+
+// ResetStats clears the mean/std accumulators without touching the current
+// temperatures, so callers can exclude warm-up transients.
+func (m *Model) ResetStats() {
+	for i := range m.sum {
+		m.sum[i] = 0
+		m.sumSq[i] = 0
+	}
+	m.n = 0
+}
+
+// TempC returns the current temperature of a core.
+func (m *Model) TempC(core int) float64 { return m.tempC[core] }
+
+// MeanTempC returns the time- and core-averaged temperature.
+func (m *Model) MeanTempC() float64 {
+	if m.n == 0 {
+		return m.ambient
+	}
+	s := 0.0
+	for _, v := range m.sum {
+		s += v
+	}
+	return s / float64(m.n) / float64(m.nCores)
+}
+
+// StdTempC returns the average per-core standard deviation of temperature
+// over time — the paper's temperature-stability indicator.
+func (m *Model) StdTempC() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	n := float64(m.n)
+	total := 0.0
+	for i := range m.sum {
+		mean := m.sum[i] / n
+		v := m.sumSq[i]/n - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		total += math.Sqrt(v)
+	}
+	return total / float64(m.nCores)
+}

@@ -1,0 +1,101 @@
+package thermal
+
+import (
+	"testing"
+
+	"ptbsim/internal/metrics"
+)
+
+func TestHeatsUpUnderLoad(t *testing.T) {
+	m := New(1, metrics.CycleSeconds)
+	// 2000 pJ/cycle at 3GHz = 6W; steady state = ambient + 6W * Rth.
+	m.Advance([]float64{2000}, 600_000)
+	if m.TempC(0) <= DefaultAmbientC {
+		t.Fatalf("no heating: %v", m.TempC(0))
+	}
+	// Run ~20 thermal time constants to converge.
+	tauCycles := int64(DefaultRth * DefaultCth / metrics.CycleSeconds)
+	m.Advance([]float64{2000}, 20*tauCycles)
+	want := DefaultAmbientC + 6*DefaultRth
+	if d := m.TempC(0) - want; d > 0.5 || d < -0.5 {
+		t.Fatalf("steady state %v, want ~%v", m.TempC(0), want)
+	}
+}
+
+func TestCoolsDownWhenIdle(t *testing.T) {
+	m := New(1, metrics.CycleSeconds)
+	m.Advance([]float64{3000}, 30_000_000)
+	hot := m.TempC(0)
+	m.Advance([]float64{0}, 30_000_000)
+	if m.TempC(0) >= hot {
+		t.Fatal("no cooling after load removed")
+	}
+}
+
+func TestRecordMatchesAdvance(t *testing.T) {
+	a := New(1, metrics.CycleSeconds)
+	b := New(1, metrics.CycleSeconds)
+	e := []float64{1234}
+	for i := 0; i < 3*DefaultInterval; i++ {
+		a.Record(e)
+	}
+	b.Advance(e, 3*DefaultInterval)
+	if a.TempC(0) != b.TempC(0) {
+		t.Fatalf("Record %v != Advance %v", a.TempC(0), b.TempC(0))
+	}
+}
+
+func TestStableLoadLowStd(t *testing.T) {
+	tauCycles := int64(DefaultRth * DefaultCth / metrics.CycleSeconds)
+
+	stable := New(1, metrics.CycleSeconds)
+	stable.Advance([]float64{1500}, 20*tauCycles) // warm to steady state
+	stable.ResetStats()
+	stable.Advance([]float64{1500}, 10*tauCycles)
+
+	osc := New(1, metrics.CycleSeconds)
+	osc.Advance([]float64{1500}, 20*tauCycles)
+	osc.ResetStats()
+	for i := 0; i < 20; i++ {
+		p := 0.0
+		if i%2 == 0 {
+			p = 3000
+		}
+		osc.Advance([]float64{p}, tauCycles/2)
+	}
+	if osc.StdTempC() <= stable.StdTempC() {
+		t.Fatalf("oscillating load std %.4f not above stable %.4f",
+			osc.StdTempC(), stable.StdTempC())
+	}
+}
+
+func TestMeanTempTracksPower(t *testing.T) {
+	low := New(1, metrics.CycleSeconds)
+	low.Advance([]float64{500}, 20_000_000)
+	high := New(1, metrics.CycleSeconds)
+	high.Advance([]float64{2500}, 20_000_000)
+	if high.MeanTempC() <= low.MeanTempC() {
+		t.Fatal("higher power did not produce higher mean temperature")
+	}
+}
+
+func TestPerCoreIndependence(t *testing.T) {
+	m := New(2, metrics.CycleSeconds)
+	m.Advance([]float64{2500, 100}, 20_000_000)
+	if m.TempC(0) <= m.TempC(1) {
+		t.Fatalf("hot core %v not hotter than idle core %v", m.TempC(0), m.TempC(1))
+	}
+}
+
+func TestResetStatsKeepsTemperature(t *testing.T) {
+	m := New(1, metrics.CycleSeconds)
+	m.Advance([]float64{2500}, 10_000_000)
+	temp := m.TempC(0)
+	m.ResetStats()
+	if m.TempC(0) != temp {
+		t.Fatal("ResetStats changed the temperature state")
+	}
+	if m.MeanTempC() != DefaultAmbientC {
+		t.Fatal("stats not cleared")
+	}
+}

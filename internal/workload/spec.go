@@ -1,0 +1,400 @@
+// Package workload synthesizes the multithreaded benchmarks of the paper's
+// evaluation (Table 2: SPLASH-2 plus PARSEC applications).
+//
+// The real benchmark binaries cannot run on this simulator, so each
+// application is modeled as a *reactive* instruction-stream generator with
+// the properties that drive the paper's results: its instruction mix,
+// working-set size and sharing, branch predictability, inter-thread
+// imbalance, and — critically — its synchronization structure (lock
+// contention vs. barrier frequency). Locks and barriers are executed as real
+// atomic operations and spin loops against shared cache lines, so spinning
+// time and spinning power are *emergent* from the coherence protocol, not
+// scripted. The per-benchmark parameters are calibrated so the Fig. 3
+// execution-time breakdown reproduces the paper's shape: unstructured and
+// fluidanimate lock-bound, ocean/radix barrier-bound with imbalance,
+// cholesky/blackscholes/swaptions/x264 nearly synchronization-free.
+package workload
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	// Name and InputSize label the benchmark as in Table 2.
+	Name      string
+	InputSize string
+	// Suite is "SPLASH-2" or "PARSEC".
+	Suite string
+
+	// Seed drives all pseudo-random choices; each thread derives its own
+	// stream from it.
+	Seed uint64
+
+	// Instruction mix weights for busy phases (need not sum to 1).
+	MixIntAlu, MixIntMul, MixFPAlu, MixFPMul float64
+	MixLoad, MixStore, MixBranch             float64
+	// LongLatFrac is the fraction of IntMul/FPMul ops that are
+	// long-latency (divides).
+	LongLatFrac float64
+
+	// DepMean is the mean data-dependency distance; smaller = less ILP.
+	DepMean float64
+
+	// PrivateKB is each thread's private working set; SharedKB the shared
+	// region touched by SharedFrac of memory accesses. SeqFrac of accesses
+	// walk sequentially, the rest are random within the region.
+	PrivateKB  int
+	SharedKB   int
+	SharedFrac float64
+	SeqFrac    float64
+	// HotFrac of private accesses go to a HotKB hot subset (temporal
+	// locality); the rest stream through the full footprint. Zero values
+	// default to 0.90 and 16KB — real applications keep L1 hit rates in
+	// the mid-90s, and the power-unbalance PTB exploits comes from the
+	// *misses*, not from an unrealistically cold cache.
+	HotFrac float64
+	HotKB   int
+	// SliceAffinity is the probability a shared access stays within the
+	// thread's own slice of the shared region (domain decomposition);
+	// the rest touch random remote slices and create coherence traffic.
+	// Zero defaults to 0.8.
+	SliceAffinity float64
+
+	// HardBranchFrac is the fraction of branches with pseudo-random
+	// outcomes (unpredictable); the rest follow BranchTakenP loop behavior.
+	HardBranchFrac float64
+	BranchTakenP   float64
+
+	// Program structure: QuantaPerThread work quanta of ~QuantumInsts busy
+	// instructions (±Imbalance relative spread). After every BarrierEvery
+	// quanta all threads meet at a barrier (0 = only the final barrier).
+	// With probability LockProb a quantum ends with a lock-protected
+	// critical section of CritInsts instructions using one of NumLocks
+	// locks.
+	QuantaPerThread int
+	QuantumInsts    int
+	Imbalance       float64
+	BarrierEvery    int
+	LockProb        float64
+	CritInsts       int
+	NumLocks        int
+
+	// CodeLines is the static code footprint in 64-byte I-cache lines.
+	CodeLines int
+
+	// Phases, when non-empty, cycle the busy-phase character over time:
+	// real applications alternate program phases (stencil sweep vs.
+	// reduction, motion estimation vs. entropy coding) with visibly
+	// different power levels — the per-cycle unbalance Fig. 5 shows.
+	// Each entry holds for Quanta work quanta, then the next (cyclically).
+	Phases []Phase
+}
+
+// Phase modulates the busy-instruction generator for a stretch of quanta.
+type Phase struct {
+	// Name labels the phase (stats/debug).
+	Name string
+	// Quanta is how many consecutive work quanta the phase covers.
+	Quanta int
+	// FPScale and MemScale multiply the FP and memory portions of the
+	// instruction mix (1.0 = unchanged); the IntAlu weight absorbs the
+	// difference so total instruction counts stay comparable.
+	FPScale  float64
+	MemScale float64
+	// SharedScale multiplies SharedFrac (communication-heavy phases).
+	SharedScale float64
+}
+
+// Scaled returns a copy with the total work multiplied by f (used by unit
+// tests and benchmarks to run shortened versions).
+func (s *Spec) Scaled(f float64) *Spec {
+	c := *s
+	c.QuantaPerThread = int(float64(s.QuantaPerThread)*f + 0.5)
+	if c.QuantaPerThread < 2 {
+		c.QuantaPerThread = 2
+	}
+	return &c
+}
+
+// ApproxInsts estimates the busy instructions per thread (for sizing runs).
+func (s *Spec) ApproxInsts() int {
+	per := s.QuantumInsts
+	if s.LockProb > 0 {
+		per += int(s.LockProb * float64(s.CritInsts))
+	}
+	return s.QuantaPerThread * per
+}
+
+// Catalog returns the 14 evaluated benchmarks in the paper's order.
+func Catalog() []*Spec {
+	return []*Spec{
+		Barnes(), Cholesky(), FFT(), Ocean(), Radix(), Raytrace(), Tomcatv(),
+		Unstructured(), WaterNSq(), WaterSP(), Blackscholes(), Fluidanimate(),
+		Swaptions(), X264(),
+	}
+}
+
+// ByName finds a catalog benchmark by name.
+func ByName(name string) (*Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Barnes models the SPLASH-2 Barnes-Hut N-body simulation: FP-heavy tree
+// walks, barriers between time steps, light tree locking, moderate
+// imbalance from uneven body distributions.
+func Barnes() *Spec {
+	return &Spec{
+		Name: "barnes", InputSize: "8192 bodies, 4 time steps", Suite: "SPLASH-2",
+		Seed:      0xBA12E5,
+		MixIntAlu: 0.28, MixIntMul: 0.02, MixFPAlu: 0.18, MixFPMul: 0.12,
+		MixLoad: 0.22, MixStore: 0.08, MixBranch: 0.10, LongLatFrac: 0.04,
+		DepMean:   5.5,
+		PrivateKB: 96, SharedKB: 512, SharedFrac: 0.25, SeqFrac: 0.35,
+		HardBranchFrac: 0.12, BranchTakenP: 0.82,
+		QuantaPerThread: 48, QuantumInsts: 2200, Imbalance: 0.25,
+		BarrierEvery: 2, LockProb: 0.25, CritInsts: 60, NumLocks: 16,
+		CodeLines: 220,
+	}
+}
+
+// Cholesky models SPLASH-2 blocked sparse Cholesky factorization: well
+// balanced task queue, low lock contention, no internal barriers.
+func Cholesky() *Spec {
+	return &Spec{
+		Name: "cholesky", InputSize: "tk16.0", Suite: "SPLASH-2",
+		Seed:      0xC401E5,
+		MixIntAlu: 0.26, MixIntMul: 0.03, MixFPAlu: 0.20, MixFPMul: 0.16,
+		MixLoad: 0.20, MixStore: 0.07, MixBranch: 0.08, LongLatFrac: 0.05,
+		DepMean:   6.5,
+		PrivateKB: 128, SharedKB: 768, SharedFrac: 0.20, SeqFrac: 0.55,
+		HardBranchFrac: 0.08, BranchTakenP: 0.85,
+		QuantaPerThread: 52, QuantumInsts: 2400, Imbalance: 0.08,
+		BarrierEvery: 0, LockProb: 0.35, CritInsts: 40, NumLocks: 32,
+		CodeLines: 260,
+	}
+}
+
+// FFT models the SPLASH-2 radix-√n FFT: all-to-all transposes separated by
+// barriers, streaming access, little locking.
+func FFT() *Spec {
+	return &Spec{
+		Name: "fft", InputSize: "256K complex doubles", Suite: "SPLASH-2",
+		Seed:      0xFF7A11,
+		MixIntAlu: 0.22, MixIntMul: 0.04, MixFPAlu: 0.24, MixFPMul: 0.18,
+		MixLoad: 0.18, MixStore: 0.08, MixBranch: 0.06, LongLatFrac: 0.02,
+		DepMean:   7.0,
+		PrivateKB: 192, SharedKB: 1024, SharedFrac: 0.30, SeqFrac: 0.75,
+		HardBranchFrac: 0.04, BranchTakenP: 0.90,
+		QuantaPerThread: 44, QuantumInsts: 2600, Imbalance: 0.15,
+		BarrierEvery: 2, LockProb: 0.0, CritInsts: 0, NumLocks: 1,
+		CodeLines: 150,
+		Phases: []Phase{
+			{Name: "butterfly", Quanta: 2, FPScale: 1.3, MemScale: 0.9, SharedScale: 0.5},
+			{Name: "transpose", Quanta: 2, FPScale: 0.4, MemScale: 1.5, SharedScale: 2.2},
+		},
+	}
+}
+
+// Ocean models SPLASH-2 Ocean (contiguous partitions): stencil sweeps with
+// a barrier after every phase and noticeable imbalance at the boundaries —
+// the paper's canonical barrier-dominated application.
+func Ocean() *Spec {
+	return &Spec{
+		Name: "ocean", InputSize: "258x258 ocean", Suite: "SPLASH-2",
+		Seed:      0x0CEA10,
+		MixIntAlu: 0.24, MixIntMul: 0.02, MixFPAlu: 0.24, MixFPMul: 0.14,
+		MixLoad: 0.22, MixStore: 0.08, MixBranch: 0.06, LongLatFrac: 0.03,
+		DepMean:   6.0,
+		PrivateKB: 160, SharedKB: 1024, SharedFrac: 0.22, SeqFrac: 0.70,
+		HardBranchFrac: 0.05, BranchTakenP: 0.88,
+		QuantaPerThread: 56, QuantumInsts: 1800, Imbalance: 0.35,
+		BarrierEvery: 1, LockProb: 0.05, CritInsts: 24, NumLocks: 8,
+		CodeLines: 180,
+		Phases: []Phase{
+			{Name: "stencil", Quanta: 3, FPScale: 1.2, MemScale: 1.2, SharedScale: 1.4},
+			{Name: "reduce", Quanta: 1, FPScale: 0.6, MemScale: 0.8, SharedScale: 0.6},
+		},
+	}
+}
+
+// Radix models SPLASH-2 radix sort: permutation phases with barriers and
+// strong imbalance from skewed key histograms — high AoPB under the naive
+// split in the paper.
+func Radix() *Spec {
+	return &Spec{
+		Name: "radix", InputSize: "1M keys, 1024 radix", Suite: "SPLASH-2",
+		Seed:      0x4AD1C5,
+		MixIntAlu: 0.40, MixIntMul: 0.04, MixFPAlu: 0.02, MixFPMul: 0.01,
+		MixLoad: 0.28, MixStore: 0.14, MixBranch: 0.09, LongLatFrac: 0.01,
+		DepMean:   4.5,
+		PrivateKB: 256, SharedKB: 1024, SharedFrac: 0.30, SeqFrac: 0.45,
+		HardBranchFrac: 0.15, BranchTakenP: 0.80,
+		QuantaPerThread: 50, QuantumInsts: 2000, Imbalance: 0.40,
+		BarrierEvery: 1, LockProb: 0.0, CritInsts: 0, NumLocks: 1,
+		CodeLines: 120,
+		Phases: []Phase{
+			{Name: "histogram", Quanta: 2, FPScale: 1, MemScale: 0.8, SharedScale: 0.4},
+			{Name: "permute", Quanta: 2, FPScale: 1, MemScale: 1.6, SharedScale: 1.8},
+		},
+	}
+}
+
+// Raytrace models SPLASH-2 raytrace: a central work-queue lock feeds
+// independent rays; lock contention grows with core count.
+func Raytrace() *Spec {
+	return &Spec{
+		Name: "raytrace", InputSize: "Teapot", Suite: "SPLASH-2",
+		Seed:      0x4A97AC,
+		MixIntAlu: 0.26, MixIntMul: 0.02, MixFPAlu: 0.20, MixFPMul: 0.16,
+		MixLoad: 0.20, MixStore: 0.06, MixBranch: 0.10, LongLatFrac: 0.06,
+		DepMean:   5.0,
+		PrivateKB: 96, SharedKB: 768, SharedFrac: 0.30, SeqFrac: 0.25,
+		HardBranchFrac: 0.18, BranchTakenP: 0.78,
+		QuantaPerThread: 60, QuantumInsts: 1500, Imbalance: 0.30,
+		BarrierEvery: 0, LockProb: 0.85, CritInsts: 30, NumLocks: 1,
+		CodeLines: 240,
+	}
+}
+
+// Tomcatv models the mesh-generation kernel: vectorizable sweeps with
+// barriers between iterations.
+func Tomcatv() *Spec {
+	return &Spec{
+		Name: "tomcatv", InputSize: "256 elements, 5 iterations", Suite: "SPLASH-2",
+		Seed:      0x70DCA7,
+		MixIntAlu: 0.20, MixIntMul: 0.02, MixFPAlu: 0.26, MixFPMul: 0.18,
+		MixLoad: 0.20, MixStore: 0.08, MixBranch: 0.06, LongLatFrac: 0.03,
+		DepMean:   7.5,
+		PrivateKB: 128, SharedKB: 512, SharedFrac: 0.18, SeqFrac: 0.80,
+		HardBranchFrac: 0.03, BranchTakenP: 0.92,
+		QuantaPerThread: 46, QuantumInsts: 2200, Imbalance: 0.22,
+		BarrierEvery: 1, LockProb: 0.0, CritInsts: 0, NumLocks: 1,
+		CodeLines: 100,
+	}
+}
+
+// Unstructured models the unstructured-mesh CFD kernel: fine-grained locks
+// on shared mesh nodes with heavy contention plus phase barriers — the
+// paper's most lock-bound and technique-sensitive application.
+func Unstructured() *Spec {
+	return &Spec{
+		Name: "unstructured", InputSize: "Mesh.2K, 5 time steps", Suite: "SPLASH-2",
+		Seed:      0x0175C7,
+		MixIntAlu: 0.28, MixIntMul: 0.02, MixFPAlu: 0.18, MixFPMul: 0.10,
+		MixLoad: 0.24, MixStore: 0.10, MixBranch: 0.08, LongLatFrac: 0.02,
+		DepMean:   4.5,
+		PrivateKB: 96, SharedKB: 1024, SharedFrac: 0.40, SeqFrac: 0.30,
+		HardBranchFrac: 0.10, BranchTakenP: 0.80,
+		QuantaPerThread: 56, QuantumInsts: 900, Imbalance: 0.30,
+		BarrierEvery: 4, LockProb: 1.0, CritInsts: 90, NumLocks: 2,
+		CodeLines: 200,
+	}
+}
+
+// WaterNSq models SPLASH-2 Water-NSquared: per-molecule locks with moderate
+// contention and barriers per time step, unbalanced across threads.
+func WaterNSq() *Spec {
+	return &Spec{
+		Name: "waternsq", InputSize: "512 molecules, 4 time steps", Suite: "SPLASH-2",
+		Seed:      0x3A7E41,
+		MixIntAlu: 0.24, MixIntMul: 0.02, MixFPAlu: 0.22, MixFPMul: 0.16,
+		MixLoad: 0.20, MixStore: 0.08, MixBranch: 0.08, LongLatFrac: 0.05,
+		DepMean:   6.0,
+		PrivateKB: 96, SharedKB: 512, SharedFrac: 0.28, SeqFrac: 0.40,
+		HardBranchFrac: 0.07, BranchTakenP: 0.86,
+		QuantaPerThread: 48, QuantumInsts: 1700, Imbalance: 0.32,
+		BarrierEvery: 4, LockProb: 0.70, CritInsts: 50, NumLocks: 4,
+		CodeLines: 190,
+	}
+}
+
+// WaterSP models Water-Spatial: same physics with spatial decomposition —
+// fewer locks, barrier-synchronized, better balanced.
+func WaterSP() *Spec {
+	return &Spec{
+		Name: "watersp", InputSize: "512 molecules, 4 time steps", Suite: "SPLASH-2",
+		Seed:      0x3A7E42,
+		MixIntAlu: 0.24, MixIntMul: 0.02, MixFPAlu: 0.22, MixFPMul: 0.16,
+		MixLoad: 0.20, MixStore: 0.08, MixBranch: 0.08, LongLatFrac: 0.05,
+		DepMean:   6.0,
+		PrivateKB: 96, SharedKB: 512, SharedFrac: 0.18, SeqFrac: 0.55,
+		HardBranchFrac: 0.06, BranchTakenP: 0.88,
+		QuantaPerThread: 48, QuantumInsts: 1800, Imbalance: 0.18,
+		BarrierEvery: 2, LockProb: 0.15, CritInsts: 30, NumLocks: 8,
+		CodeLines: 190,
+	}
+}
+
+// Blackscholes models PARSEC blackscholes: embarrassingly parallel option
+// pricing; threads only meet at the final barrier.
+func Blackscholes() *Spec {
+	return &Spec{
+		Name: "blackscholes", InputSize: "simsmall", Suite: "PARSEC",
+		Seed:      0xB1AC55,
+		MixIntAlu: 0.18, MixIntMul: 0.02, MixFPAlu: 0.26, MixFPMul: 0.22,
+		MixLoad: 0.18, MixStore: 0.06, MixBranch: 0.08, LongLatFrac: 0.10,
+		DepMean:   6.5,
+		PrivateKB: 64, SharedKB: 128, SharedFrac: 0.05, SeqFrac: 0.85,
+		HardBranchFrac: 0.03, BranchTakenP: 0.90,
+		QuantaPerThread: 50, QuantumInsts: 2100, Imbalance: 0.06,
+		BarrierEvery: 0, LockProb: 0.0, CritInsts: 0, NumLocks: 1,
+		CodeLines: 90,
+	}
+}
+
+// Fluidanimate models PARSEC fluidanimate: fine-grained cell locks with
+// very high contention — the paper's second lock-bound application.
+func Fluidanimate() *Spec {
+	return &Spec{
+		Name: "fluidanimate", InputSize: "simsmall", Suite: "PARSEC",
+		Seed:      0xF1D0A1,
+		MixIntAlu: 0.24, MixIntMul: 0.02, MixFPAlu: 0.22, MixFPMul: 0.14,
+		MixLoad: 0.22, MixStore: 0.08, MixBranch: 0.08, LongLatFrac: 0.03,
+		DepMean:   5.0,
+		PrivateKB: 96, SharedKB: 1024, SharedFrac: 0.35, SeqFrac: 0.35,
+		HardBranchFrac: 0.08, BranchTakenP: 0.84,
+		QuantaPerThread: 56, QuantumInsts: 1000, Imbalance: 0.25,
+		BarrierEvery: 6, LockProb: 1.0, CritInsts: 70, NumLocks: 3,
+		CodeLines: 210,
+	}
+}
+
+// Swaptions models PARSEC swaptions: independent Monte-Carlo pricing, no
+// synchronization until the end.
+func Swaptions() *Spec {
+	return &Spec{
+		Name: "swaptions", InputSize: "simsmall", Suite: "PARSEC",
+		Seed:      0x5A9705,
+		MixIntAlu: 0.20, MixIntMul: 0.03, MixFPAlu: 0.26, MixFPMul: 0.20,
+		MixLoad: 0.17, MixStore: 0.06, MixBranch: 0.08, LongLatFrac: 0.08,
+		DepMean:   6.0,
+		PrivateKB: 64, SharedKB: 128, SharedFrac: 0.04, SeqFrac: 0.70,
+		HardBranchFrac: 0.05, BranchTakenP: 0.88,
+		QuantaPerThread: 50, QuantumInsts: 2000, Imbalance: 0.08,
+		BarrierEvery: 0, LockProb: 0.0, CritInsts: 0, NumLocks: 1,
+		CodeLines: 110,
+	}
+}
+
+// X264 models PARSEC x264: pipeline-parallel encoding with light ordering
+// locks and a final join; moderately unbalanced.
+func X264() *Spec {
+	return &Spec{
+		Name: "x264", InputSize: "simsmall", Suite: "PARSEC",
+		Seed:      0xEC0DE4,
+		MixIntAlu: 0.36, MixIntMul: 0.06, MixFPAlu: 0.06, MixFPMul: 0.02,
+		MixLoad: 0.26, MixStore: 0.12, MixBranch: 0.10, LongLatFrac: 0.02,
+		DepMean:   4.0,
+		PrivateKB: 128, SharedKB: 512, SharedFrac: 0.15, SeqFrac: 0.60,
+		HardBranchFrac: 0.20, BranchTakenP: 0.76,
+		QuantaPerThread: 52, QuantumInsts: 1900, Imbalance: 0.15,
+		BarrierEvery: 0, LockProb: 0.20, CritInsts: 25, NumLocks: 16,
+		CodeLines: 300,
+		Phases: []Phase{
+			{Name: "motion-est", Quanta: 3, FPScale: 0.5, MemScale: 1.3, SharedScale: 1.2},
+			{Name: "entropy", Quanta: 1, FPScale: 0.3, MemScale: 0.7, SharedScale: 0.5},
+		},
+	}
+}

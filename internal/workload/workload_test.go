@@ -1,0 +1,396 @@
+package workload
+
+import (
+	"testing"
+
+	"ptbsim/internal/isa"
+	"ptbsim/internal/syncprim"
+)
+
+// stepThreads round-robins all generators, evaluating serializing
+// instructions immediately against the shared table. It returns the per-
+// class instruction counts per thread and fails the test on deadlock.
+func stepThreads(t *testing.T, spec *Spec, threads int) ([][]int64, *syncprim.Table) {
+	t.Helper()
+	table := syncprim.NewTable(threads, spec.NumLocks, 1)
+	gens := make([]*Generator, threads)
+	for i := range gens {
+		gens[i] = NewGenerator(spec, table, i, threads)
+	}
+	counts := make([][]int64, threads)
+	for i := range counts {
+		counts[i] = make([]int64, isa.NumSyncClasses)
+	}
+	done := make([]bool, threads)
+	inCrit := make([]int32, threads) // lock id+1 while inside a critical section
+	for i := range inCrit {
+		inCrit[i] = -1
+	}
+
+	const maxSteps = 100_000_000
+	remaining := threads
+	for step := 0; step < maxSteps && remaining > 0; step++ {
+		th := step % threads
+		if done[th] {
+			continue
+		}
+		inst, ok := gens[th].Next()
+		if !ok {
+			done[th] = true
+			remaining--
+			continue
+		}
+		counts[th][inst.SyncClass]++
+		if inst.Serialize {
+			r := table.Eval(th, inst)
+			// Track mutual exclusion.
+			switch inst.SyncOp {
+			case isa.SyncLockTry:
+				if r == 1 {
+					for o, l := range inCrit {
+						if o != th && l == inst.SyncID {
+							t.Fatalf("threads %d and %d both inside critical section of lock %d", th, o, inst.SyncID)
+						}
+					}
+					inCrit[th] = inst.SyncID
+				}
+			case isa.SyncUnlock:
+				if inCrit[th] != inst.SyncID {
+					t.Fatalf("thread %d unlocked lock %d it does not hold", th, inst.SyncID)
+				}
+				inCrit[th] = -1
+			}
+			gens[th].Resolve(r)
+		}
+	}
+	if remaining > 0 {
+		t.Fatalf("%d threads deadlocked (benchmark %s)", remaining, spec.Name)
+	}
+	return counts, table
+}
+
+func TestAllBenchmarksRunToCompletion(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec.Scaled(0.15)
+		t.Run(spec.Name, func(t *testing.T) {
+			counts, _ := stepThreads(t, spec, 4)
+			for th := range counts {
+				total := int64(0)
+				for _, c := range counts[th] {
+					total += c
+				}
+				if total == 0 {
+					t.Fatalf("thread %d emitted no instructions", th)
+				}
+			}
+		})
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 14 {
+		t.Fatalf("catalog has %d benchmarks, want 14", len(cat))
+	}
+	want := []string{"barnes", "cholesky", "fft", "ocean", "radix", "raytrace",
+		"tomcatv", "unstructured", "waternsq", "watersp", "blackscholes",
+		"fluidanimate", "swaptions", "x264"}
+	for i, name := range want {
+		if cat[i].Name != name {
+			t.Fatalf("catalog[%d] = %s, want %s", i, cat[i].Name, name)
+		}
+		if cat[i].InputSize == "" || cat[i].Suite == "" {
+			t.Fatalf("%s missing Table-2 metadata", name)
+		}
+	}
+	if _, ok := ByName("ocean"); !ok {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName found a nonexistent benchmark")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := Ocean().Scaled(0.1)
+	table1 := syncprim.NewTable(2, spec.NumLocks, 1)
+	table2 := syncprim.NewTable(2, spec.NumLocks, 1)
+	g1 := NewGenerator(spec, table1, 0, 2)
+	g2 := NewGenerator(spec, table2, 0, 2)
+	for i := 0; i < 5000; i++ {
+		a, okA := g1.Next()
+		b, okB := g2.Next()
+		if okA != okB || a != b {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, a, b)
+		}
+		if !okA {
+			break
+		}
+		if a.Serialize {
+			g1.Resolve(1)
+			g2.Resolve(1)
+		}
+	}
+}
+
+func TestLockContentionProducesSpin(t *testing.T) {
+	spec := Unstructured().Scaled(0.2)
+	counts, table := stepThreads(t, spec, 4)
+	// With interleaved threads and contended locks there must be lock-acq
+	// instructions beyond the bare test-and-sets (spin iterations).
+	var lockAcq, busy int64
+	for th := range counts {
+		lockAcq += counts[th][isa.SyncLockAcq]
+		busy += counts[th][isa.SyncBusy]
+	}
+	if lockAcq == 0 {
+		t.Fatal("no lock-acquire activity in a lock-heavy benchmark")
+	}
+	if busy == 0 {
+		t.Fatal("no busy instructions")
+	}
+	var contended int64
+	for id := int32(0); id < int32(spec.NumLocks); id++ {
+		contended += table.ContendedTries(id)
+	}
+	if contended == 0 {
+		t.Fatal("no contended lock attempts despite 4 interleaved threads")
+	}
+}
+
+func TestBarrierBenchmarkReachesAllEpisodes(t *testing.T) {
+	spec := Ocean().Scaled(0.2)
+	_, table := stepThreads(t, spec, 4)
+	if table.BarrierEpisodes(0) == 0 {
+		t.Fatal("no barrier episodes in a barrier-heavy benchmark")
+	}
+}
+
+func TestSyncFreeBenchmarkOnlyFinalBarrier(t *testing.T) {
+	spec := Swaptions().Scaled(0.2)
+	_, table := stepThreads(t, spec, 4)
+	if got := table.BarrierEpisodes(0); got != 1 {
+		t.Fatalf("swaptions should only hit the final barrier, got %d episodes", got)
+	}
+	if table.Acquisitions(0) != 0 {
+		t.Fatal("swaptions should never lock")
+	}
+}
+
+func TestAddressesWellFormed(t *testing.T) {
+	spec := Barnes().Scaled(0.1)
+	table := syncprim.NewTable(2, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 1, 2)
+	for i := 0; i < 20000; i++ {
+		inst, ok := g.Next()
+		if !ok {
+			break
+		}
+		if inst.Op.IsMem() && inst.SyncOp == isa.SyncNone {
+			if inst.Addr >= syncprim.Region {
+				t.Fatalf("data address %#x collides with sync region", inst.Addr)
+			}
+			if inst.Addr < codeBase {
+				t.Fatalf("data address %#x below code base", inst.Addr)
+			}
+		}
+		if inst.PC < codeBase || inst.PC >= privateBase {
+			t.Fatalf("PC %#x outside code region", inst.PC)
+		}
+		if inst.Serialize {
+			g.Resolve(1)
+		}
+	}
+}
+
+func TestImbalanceVariesQuanta(t *testing.T) {
+	spec := Radix() // Imbalance 0.40
+	table := syncprim.NewTable(2, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 0, 2)
+	a := g.quantumLen()
+	different := false
+	for q := 1; q < 10; q++ {
+		g.quantum = q
+		if g.quantumLen() != a {
+			different = true
+		}
+	}
+	if !different {
+		t.Fatal("imbalanced benchmark produced identical quantum lengths")
+	}
+}
+
+func TestScaledReducesWork(t *testing.T) {
+	s := Ocean()
+	half := s.Scaled(0.5)
+	if half.QuantaPerThread >= s.QuantaPerThread {
+		t.Fatal("Scaled(0.5) did not reduce work")
+	}
+	if s.ApproxInsts() <= half.ApproxInsts() {
+		t.Fatal("ApproxInsts not monotonic in scale")
+	}
+}
+
+func TestMixProducesAllOps(t *testing.T) {
+	spec := Barnes().Scaled(0.3)
+	table := syncprim.NewTable(1, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 0, 1)
+	seen := map[isa.Op]bool{}
+	for i := 0; i < 30000; i++ {
+		inst, ok := g.Next()
+		if !ok {
+			break
+		}
+		seen[inst.Op] = true
+		if inst.Serialize {
+			g.Resolve(1)
+		}
+	}
+	for _, op := range []isa.Op{isa.OpIntAlu, isa.OpFPAlu, isa.OpFPMul, isa.OpLoad, isa.OpStore, isa.OpBranch} {
+		if !seen[op] {
+			t.Fatalf("mix never produced %v", op)
+		}
+	}
+}
+
+func TestPhasesCycle(t *testing.T) {
+	spec := Ocean() // stencil(3) + reduce(1)
+	table := syncprim.NewTable(1, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 0, 1)
+	if g.phaseTotal != 4 || len(g.mix) != 2 {
+		t.Fatalf("phase setup wrong: total=%d phases=%d", g.phaseTotal, len(g.mix))
+	}
+	g.quantum = 0
+	if g.phaseIndex() != 0 {
+		t.Fatal("quantum 0 not in phase 0")
+	}
+	g.quantum = 3
+	if g.phaseIndex() != 1 {
+		t.Fatal("quantum 3 not in phase 1")
+	}
+	g.quantum = 4
+	if g.phaseIndex() != 0 {
+		t.Fatal("phases do not cycle")
+	}
+}
+
+func TestPhaselessSpecGetsImplicitPhase(t *testing.T) {
+	spec := Swaptions()
+	table := syncprim.NewTable(1, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 0, 1)
+	if len(g.mix) != 1 || g.phaseIndex() != 0 {
+		t.Fatal("implicit phase broken")
+	}
+}
+
+func TestPhasesChangeMix(t *testing.T) {
+	// FFT's transpose phase must produce measurably more memory ops than
+	// its butterfly phase.
+	spec := FFT()
+	table := syncprim.NewTable(1, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 0, 1)
+	countMem := func(phase int) float64 {
+		g.quantum = phase * 2 // butterfly at 0-1, transpose at 2-3
+		mem := 0
+		const n = 8000
+		for i := 0; i < n; i++ {
+			inst := g.busyInst(isa.SyncBusy)
+			if inst.Op.IsMem() {
+				mem++
+			}
+		}
+		return float64(mem) / n
+	}
+	butterfly := countMem(0)
+	transpose := countMem(1)
+	if transpose <= butterfly*1.2 {
+		t.Fatalf("transpose mem fraction %.3f not above butterfly %.3f", transpose, butterfly)
+	}
+}
+
+func TestMixMatchesSpecWeights(t *testing.T) {
+	// The generated busy-instruction distribution must track the spec's
+	// weights (within sampling noise). Use a phaseless benchmark.
+	spec := Swaptions()
+	table := syncprim.NewTable(1, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 0, 1)
+	const n = 60000
+	var counts [7]int
+	for i := 0; i < n; i++ {
+		inst := g.busyInst(isa.SyncBusy)
+		for j, op := range g.mixOps {
+			if inst.Op == op {
+				counts[j]++
+				break
+			}
+		}
+	}
+	weights := []float64{spec.MixIntAlu, spec.MixIntMul, spec.MixFPAlu,
+		spec.MixFPMul, spec.MixLoad, spec.MixStore, spec.MixBranch}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for j, w := range weights {
+		want := w / total
+		got := float64(counts[j]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Fatalf("op %v frequency %.3f, want %.3f±0.02", g.mixOps[j], got, want)
+		}
+	}
+}
+
+func TestHotColdSplit(t *testing.T) {
+	// Private accesses must be dominated by the hot region.
+	spec := Blackscholes()
+	table := syncprim.NewTable(1, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 0, 1)
+	base := privateBase
+	hot, cold, other := 0, 0, 0
+	for i := 0; i < 60000; i++ {
+		inst := g.busyInst(isa.SyncBusy)
+		if !inst.Op.IsMem() {
+			continue
+		}
+		switch {
+		case inst.Addr >= base && inst.Addr < base+g.hotLen:
+			hot++
+		case inst.Addr >= base+g.hotLen && inst.Addr < base+g.hotLen+g.privLen:
+			cold++
+		default:
+			other++
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Fatalf("degenerate split hot=%d cold=%d", hot, cold)
+	}
+	frac := float64(hot) / float64(hot+cold)
+	if frac < 0.95 {
+		t.Fatalf("hot fraction %.3f, want >= 0.95 (hotFrac %.3f)", frac, g.hotFrac)
+	}
+	_ = other // shared-region accesses
+}
+
+func TestSharedSliceAffinity(t *testing.T) {
+	spec := Ocean()
+	table := syncprim.NewTable(4, spec.NumLocks, 1)
+	g := NewGenerator(spec, table, 2, 4)
+	sliceLen := g.shLen / 4
+	mine, remote := 0, 0
+	for i := 0; i < 60000; i++ {
+		a := g.sharedAddr()
+		slice := (a - sharedBase) / sliceLen
+		if slice == 2 {
+			mine++
+		} else {
+			remote++
+		}
+	}
+	frac := float64(mine) / float64(mine+remote)
+	if frac < 0.70 {
+		t.Fatalf("own-slice fraction %.3f, want >= 0.70 (affinity %.2f)", frac, g.sliceAffinity)
+	}
+	if remote == 0 {
+		t.Fatal("no cross-slice traffic at all: coherence would be trivial")
+	}
+}

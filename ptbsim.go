@@ -1,0 +1,318 @@
+// Package ptbsim is a cycle-level chip-multiprocessor simulator built to
+// reproduce "Power Token Balancing: Adapting CMPs to Power Constraints for
+// Parallel Multithreaded Workloads" (Cebrián, Aragón, Kaxiras — IEEE IPDPS
+// 2011).
+//
+// The library simulates a homogeneous CMP of out-of-order cores (Table 1 of
+// the paper) over a MOESI directory protocol and a 2D-mesh NoC, executing
+// synthetic reactive versions of the SPLASH-2/PARSEC workloads the paper
+// evaluates, under a configurable global power budget enforced by one of
+// the studied techniques: DVFS, DFS, the two-level hybrid, or Power Token
+// Balancing (PTB) with the ToAll/ToOne/Dynamic distribution policies.
+//
+// Quick start:
+//
+//	r, err := ptbsim.Run(ptbsim.Config{
+//		Benchmark: "ocean",
+//		Cores:     8,
+//		Technique: ptbsim.PTB,
+//		Policy:    ptbsim.Dynamic,
+//	})
+//
+// Results report the paper's metrics: total energy, Area over the Power
+// Budget (AoPB), performance, the execution-time breakdown, spinning power
+// and temperature statistics. Normalization helpers compare a run against
+// its no-control base case exactly as the paper's figures do.
+package ptbsim
+
+import (
+	"fmt"
+
+	"ptbsim/internal/core"
+	"ptbsim/internal/metrics"
+	"ptbsim/internal/sim"
+	"ptbsim/internal/workload"
+)
+
+// Technique selects the power-budget enforcement mechanism.
+type Technique string
+
+// The techniques evaluated in the paper (§III.C, §III.E).
+const (
+	// None runs without power control (the normalization base case).
+	None Technique = "none"
+	// DVFS is the five-mode voltage/frequency governor.
+	DVFS Technique = "dvfs"
+	// DFS scales frequency only.
+	DFS Technique = "dfs"
+	// TwoLevel combines DVFS with per-cycle microarchitectural throttling.
+	TwoLevel Technique = "2level"
+	// PTB is Power Token Balancing layered over the two-level technique.
+	PTB Technique = "ptb"
+	// PTBSpinGate extends PTB with the paper's future-work idea: cores the
+	// power-pattern detector flags as spinning are duty-cycle sleep-gated
+	// for extra energy savings.
+	PTBSpinGate Technique = "ptbgate"
+	// MaxBIPS is the Isci et al. related-work baseline: global DVFS mode
+	// selection maximizing counter-measured throughput under the budget.
+	// Included to demonstrate §II.C's argument that counter-driven global
+	// management misfires on parallel workloads (spinning looks like
+	// useful throughput).
+	MaxBIPS Technique = "maxbips"
+)
+
+// Policy selects how PTB distributes spare tokens (§III.E.1, §IV.B).
+type Policy int
+
+// The distribution policies.
+const (
+	// ToAll splits spare tokens among all over-budget cores.
+	ToAll Policy = iota
+	// ToOne gives all spare tokens to the neediest core.
+	ToOne
+	// Dynamic switches by spinning type: locks→ToOne, barriers→ToAll.
+	Dynamic
+)
+
+// String names the policy as in the paper's figures.
+func (p Policy) String() string { return p.internal().String() }
+
+func (p Policy) internal() core.Policy {
+	switch p {
+	case ToOne:
+		return core.PolicyToOne
+	case Dynamic:
+		return core.PolicyDynamic
+	default:
+		return core.PolicyToAll
+	}
+}
+
+// Config describes one simulation.
+type Config struct {
+	// Benchmark names a Table-2 workload (see Benchmarks).
+	Benchmark string
+	// Cores is the CMP size (2–16 in the paper; default 4).
+	Cores int
+	// Technique is the budget mechanism (default None).
+	Technique Technique
+	// Policy applies to PTB runs.
+	Policy Policy
+	// RelaxFrac relaxes the trigger threshold (§IV.C): 0.20 = trigger only
+	// 20% above the budget, trading accuracy for energy.
+	RelaxFrac float64
+	// BudgetFrac is the global budget as a fraction of rated peak power
+	// (default 0.5, the paper's headline configuration).
+	BudgetFrac float64
+	// WorkloadScale shortens the run (1.0 = Table-2 working set).
+	WorkloadScale float64
+	// MaxCycles is a safety cap (default 50M cycles).
+	MaxCycles int64
+	// PessimisticPTBLatency uses the 10-cycle worst-case token transfer
+	// the paper also evaluates.
+	PessimisticPTBLatency bool
+	// PTBClusterSize, when >0, uses per-cluster balancers of that many
+	// cores instead of one chip-wide balancer (the paper's §III.E.2
+	// scalability scheme for large CMPs).
+	PTBClusterSize int
+}
+
+func (c Config) internal() (sim.Config, error) {
+	spec, ok := workload.ByName(c.Benchmark)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("ptbsim: unknown benchmark %q", c.Benchmark)
+	}
+	cfg := sim.Config{
+		Benchmark:      spec,
+		Cores:          c.Cores,
+		Technique:      sim.Technique(c.Technique),
+		Policy:         c.Policy.internal(),
+		RelaxFrac:      c.RelaxFrac,
+		BudgetFrac:     c.BudgetFrac,
+		WorkloadScale:  c.WorkloadScale,
+		MaxCycles:      c.MaxCycles,
+		PTBClusterSize: c.PTBClusterSize,
+	}
+	if c.Technique == "" {
+		cfg.Technique = sim.TechNone
+	}
+	if c.PessimisticPTBLatency {
+		lat := core.PessimisticLatency()
+		cfg.PTBLatency = &lat
+	}
+	return cfg, nil
+}
+
+// Result summarizes one run with the paper's metrics.
+type Result struct {
+	Benchmark string
+	Cores     int
+	Technique Technique
+	Policy    string
+
+	// Cycles is the parallel-phase runtime; Committed the instructions
+	// retired across all cores.
+	Cycles    int64
+	Committed int64
+
+	// EnergyJ is total chip energy; AoPBJ the area over the power budget
+	// (Fig. 1), both in joules.
+	EnergyJ float64
+	AoPBJ   float64
+
+	// MeanPowerW and StdPowerW characterize the chip power trace.
+	MeanPowerW float64
+	StdPowerW  float64
+
+	// BusyFrac/LockAcqFrac/LockRelFrac/BarrierFrac are the Fig. 3
+	// execution-time breakdown; SpinEnergyFrac the Fig. 4 spinning power
+	// share.
+	BusyFrac       float64
+	LockAcqFrac    float64
+	LockRelFrac    float64
+	BarrierFrac    float64
+	SpinEnergyFrac float64
+
+	// OverBudgetFrac is the fraction of cycles the chip exceeded the
+	// budget.
+	OverBudgetFrac float64
+
+	// MeanTempC and StdTempC summarize the lumped-RC thermal model.
+	MeanTempC float64
+	StdTempC  float64
+
+	// HitMaxCycles marks a truncated run.
+	HitMaxCycles bool
+
+	// ComponentJ breaks total energy down by structure group (frontend,
+	// execute, caches, noc, dram, power-mgmt, clock, leakage), in joules.
+	ComponentJ map[string]float64
+}
+
+func fromMetrics(r *metrics.RunResult) *Result {
+	return &Result{
+		Benchmark:      r.Benchmark,
+		Cores:          r.Cores,
+		Technique:      Technique(r.Technique),
+		Policy:         r.Policy,
+		Cycles:         r.Cycles,
+		Committed:      r.Committed,
+		EnergyJ:        r.EnergyJ,
+		AoPBJ:          r.AoPBJ,
+		MeanPowerW:     r.MeanPowerW,
+		StdPowerW:      r.StdPowerW,
+		BusyFrac:       r.ClassFrac[0],
+		LockAcqFrac:    r.ClassFrac[1],
+		LockRelFrac:    r.ClassFrac[2],
+		BarrierFrac:    r.ClassFrac[3],
+		SpinEnergyFrac: r.SpinEnergyFrac,
+		OverBudgetFrac: r.OverBudgetFrac,
+		MeanTempC:      r.MeanTempC,
+		StdTempC:       r.StdTempC,
+		HitMaxCycles:   r.HitMaxCycles,
+		ComponentJ:     r.ComponentJ,
+	}
+}
+
+func (r *Result) toMetrics() *metrics.RunResult {
+	return &metrics.RunResult{
+		EnergyJ: r.EnergyJ, AoPBJ: r.AoPBJ, Cycles: r.Cycles,
+	}
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	icfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(icfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromMetrics(res), nil
+}
+
+// TraceResult extends Result with power traces for plotting.
+type TraceResult struct {
+	Result
+	// ChipTrace holds chip power samples (pJ/cycle) every TraceEvery
+	// cycles; CoreTrace the same for the traced core (empty if none).
+	ChipTrace []float64
+	CoreTrace []float64
+	// GlobalBudgetPJ is the budget line in pJ/cycle.
+	GlobalBudgetPJ float64
+}
+
+// RunTrace executes a simulation while recording power traces. traceCore
+// may be -1 to record only the chip trace.
+func RunTrace(cfg Config, traceEvery int64, traceCore int) (*TraceResult, error) {
+	icfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	icfg.TraceEvery = traceEvery
+	icfg.TraceCore = traceCore
+	s, err := sim.NewSystem(icfg)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run()
+	return &TraceResult{
+		Result:         *fromMetrics(res),
+		ChipTrace:      s.Collector().Trace(),
+		CoreTrace:      s.CoreTrace(),
+		GlobalBudgetPJ: s.GlobalBudgetPJ(),
+	}, nil
+}
+
+// EDP returns the run's energy-delay product in joule-seconds.
+func (r *Result) EDP() float64 {
+	return r.EnergyJ * float64(r.Cycles) * (1.0 / 3e9)
+}
+
+// ED2P returns the run's energy-delay² product in joule-seconds².
+func (r *Result) ED2P() float64 {
+	d := float64(r.Cycles) * (1.0 / 3e9)
+	return r.EnergyJ * d * d
+}
+
+// NormalizedEnergyPct returns the paper's "Normalized Energy (%)" of r
+// against the base case (negative = savings).
+func NormalizedEnergyPct(r, base *Result) float64 {
+	return metrics.NormalizedEnergyPct(r.toMetrics(), base.toMetrics())
+}
+
+// NormalizedAoPBPct returns the paper's "Normalized AoPB (%)" against the
+// base case (lower = more accurate budget matching).
+func NormalizedAoPBPct(r, base *Result) float64 {
+	return metrics.NormalizedAoPBPct(r.toMetrics(), base.toMetrics())
+}
+
+// SlowdownPct returns the performance degradation against the base case.
+func SlowdownPct(r, base *Result) float64 {
+	return metrics.SlowdownPct(r.toMetrics(), base.toMetrics())
+}
+
+// BenchmarkInfo describes one Table-2 workload.
+type BenchmarkInfo struct {
+	Name      string
+	Suite     string
+	InputSize string
+}
+
+// Benchmarks lists the evaluated workloads in the paper's order.
+func Benchmarks() []BenchmarkInfo {
+	var out []BenchmarkInfo
+	for _, s := range workload.Catalog() {
+		out = append(out, BenchmarkInfo{Name: s.Name, Suite: s.Suite, InputSize: s.InputSize})
+	}
+	return out
+}
+
+// PTBLatency reports the token-transfer latency (send, process, return, in
+// cycles) the balancer uses for a given core count (Fig. 8).
+func PTBLatency(cores int) (send, process, ret int64) {
+	l := core.LatencyFor(cores)
+	return l.Send, l.Process, l.Return
+}
