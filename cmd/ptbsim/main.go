@@ -1,5 +1,6 @@
 // Command ptbsim runs one CMP simulation and prints the paper's metrics
-// for it, optionally next to the no-control base case.
+// for it, optionally next to the no-control base case. SIGINT cancels the
+// run cleanly.
 //
 // Usage:
 //
@@ -9,10 +10,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"ptbsim"
 )
@@ -21,8 +27,8 @@ func main() {
 	var (
 		bench   = flag.String("bench", "ocean", "benchmark name (see -list)")
 		cores   = flag.Int("cores", 4, "number of cores (2, 4, 8, 16)")
-		tech    = flag.String("tech", "ptb", "technique: none, dvfs, dfs, 2level, ptb")
-		policy  = flag.String("policy", "dynamic", "PTB policy: toall, toone, dynamic")
+		tech    = flag.String("tech", "ptb", "technique: "+strings.Join(ptbsim.TechniqueNames(), ", "))
+		policy  = flag.String("policy", "dynamic", "PTB policy: "+strings.Join(ptbsim.PolicyNames(), ", "))
 		relax   = flag.Float64("relax", 0, "relaxed trigger threshold (e.g. 0.2 = +20%)")
 		budget  = flag.Float64("budget", 0.5, "global budget as a fraction of rated peak")
 		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = Table 2 size)")
@@ -41,22 +47,23 @@ func main() {
 		return
 	}
 
-	pol := ptbsim.Dynamic
-	switch *policy {
-	case "toall":
-		pol = ptbsim.ToAll
-	case "toone":
-		pol = ptbsim.ToOne
-	case "dynamic":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+	// Unknown names fail loudly through the typed parse errors instead of
+	// silently defaulting.
+	tq, err := ptbsim.ParseTechnique(*tech)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pol, err := ptbsim.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	cfg := ptbsim.Config{
 		Benchmark:             *bench,
 		Cores:                 *cores,
-		Technique:             ptbsim.Technique(*tech),
+		Technique:             tq,
 		Policy:                pol,
 		RelaxFrac:             *relax,
 		BudgetFrac:            *budget,
@@ -64,10 +71,12 @@ func main() {
 		PessimisticPTBLatency: *pessim,
 	}
 
-	r, err := ptbsim.Run(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r, err := ptbsim.RunContext(ctx, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -83,16 +92,26 @@ func main() {
 	if !*noBase && cfg.Technique != ptbsim.None {
 		baseCfg := cfg
 		baseCfg.Technique = ptbsim.None
-		base, err := ptbsim.Run(baseCfg)
+		base, err := ptbsim.RunContext(ctx, baseCfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println("vs no-control base case:")
 		fmt.Printf("  normalized energy : %+6.1f %%\n", ptbsim.NormalizedEnergyPct(r, base))
 		fmt.Printf("  normalized AoPB   : %6.1f %%\n", ptbsim.NormalizedAoPBPct(r, base))
 		fmt.Printf("  slowdown          : %+6.1f %%\n", ptbsim.SlowdownPct(r, base))
 	}
+}
+
+// fail reports err and exits, distinguishing an interrupted run (exit 130,
+// the conventional SIGINT status) from a real failure.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ptbsim: interrupted")
+		os.Exit(130)
+	}
+	os.Exit(1)
 }
 
 func printResult(r *ptbsim.Result) {

@@ -1,10 +1,15 @@
 // Command ptbsweep regenerates the paper's tables and figures as text
-// tables. Each experiment is identified by its paper artifact id.
+// tables. Each experiment is identified by its paper artifact id. Runs
+// execute on the parallel experiment engine: `-par N` bounds the worker
+// pool (simulations are deterministic, so the output is byte-identical at
+// any parallelism), and SIGINT cancels the sweep cleanly mid-run instead
+// of completing the cross-product.
 //
 // Usage:
 //
 //	ptbsweep -exp fig2                 # one figure at the default scale
 //	ptbsweep -exp all -scale 0.25      # everything, shortened workloads
+//	ptbsweep -exp all -par 16          # same output, 16 parallel simulations
 //	ptbsweep -exp fig9 -cores 2,4,8    # restrict the core sweep
 //	ptbsweep -exp fig10 -benches ocean,radix,fft
 //
@@ -13,12 +18,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ptbsim/internal/core"
 	"ptbsim/internal/sim"
@@ -42,10 +51,17 @@ func main() {
 		relax   = flag.Float64("relax", 0.20, "fig14 relaxed threshold")
 		big     = flag.Int("bigcores", 16, "core count for the detailed figures (2/10/11/12/13)")
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
-		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations during warm-up")
+		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations (1 = serial; output is identical at any value)")
 		format  = flag.String("format", "text", "output format: text, md, csv")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// The figure builders run cached results through the context-free
+	// Runner API; a cancelled bound context surfaces as a panic that the
+	// handler below turns into a clean exit.
+	defer exitOnInterrupt()
 
 	render := func(t *sim.Table) {
 		switch *format {
@@ -59,6 +75,8 @@ func main() {
 	}
 
 	r := sim.NewRunner(*scale)
+	r.Bind(ctx)
+	r.SetParallelism(*par)
 	if !*quiet {
 		r.Progress = os.Stderr
 	}
@@ -121,13 +139,15 @@ func main() {
 	}
 
 	if *exp == "all" {
-		// Precompute every needed run on all cores; the figure builders
-		// then assemble tables from the cache.
+		// Precompute every needed run on the worker pool; the figure
+		// builders then assemble tables from the cache.
 		ccWarm := ccs
 		if !contains(ccWarm, *big) {
 			ccWarm = append(append([]int(nil), ccWarm...), *big)
 		}
-		r.Warm(bs, ccWarm, *relax, *par)
+		if err := r.WarmContext(ctx, bs, ccWarm, *relax); err != nil {
+			fail(err)
+		}
 		for _, id := range []string{"table1", "table2", "fig2", "fig3", "fig4",
 			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "sec4d", "ext"} {
 			run(id)
@@ -137,4 +157,27 @@ func main() {
 	for _, id := range strings.Split(*exp, ",") {
 		run(strings.TrimSpace(id))
 	}
+}
+
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ptbsweep: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// exitOnInterrupt converts the cancellation panic of the legacy Runner
+// path into the same clean exit as fail.
+func exitOnInterrupt() {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if err, ok := p.(error); ok && errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ptbsweep: interrupted")
+		os.Exit(130)
+	}
+	panic(p)
 }

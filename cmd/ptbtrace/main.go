@@ -2,6 +2,7 @@
 // (per-cycle CMP power around the global budget, the PTB motivation) and
 // Fig. 6 (the power signature of a core entering a spinning state). Output
 // is an ASCII chart plus optional CSV samples for external plotting.
+// SIGINT cancels the trace run cleanly.
 //
 // Usage:
 //
@@ -10,12 +11,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
-	"ptbsim/internal/sim"
+	"ptbsim"
 )
 
 func main() {
@@ -27,15 +32,39 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var trace []float64
 	var budget float64
 	var title string
 	switch *exp {
 	case "fig5":
-		trace, budget = sim.Fig5Trace(*scale)
+		tr, err := ptbsim.RunTraceContext(ctx, ptbsim.Config{
+			Benchmark:     "ocean",
+			Cores:         4,
+			Technique:     ptbsim.None,
+			WorkloadScale: *scale,
+			MaxCycles:     20_000_000,
+		}, 50, -1)
+		if err != nil {
+			fail(err)
+		}
+		trace, budget = tr.ChipTrace, tr.GlobalBudgetPJ
 		title = "Figure 5 — per-cycle CMP power vs the global power budget (4-core ocean)"
 	case "fig6":
-		trace, budget = sim.Fig6Trace(*scale)
+		tr, err := ptbsim.RunTraceContext(ctx, ptbsim.Config{
+			Benchmark:     "raytrace",
+			Cores:         4,
+			Technique:     ptbsim.None,
+			WorkloadScale: *scale,
+			MaxCycles:     20_000_000,
+		}, 10, 2)
+		if err != nil {
+			fail(err)
+		}
+		// A core's local budget is the global budget split evenly.
+		trace, budget = tr.CoreTrace, tr.GlobalBudgetPJ/4
 		title = "Figure 6 — per-cycle power of a core contending for a lock (raytrace)"
 	default:
 		fmt.Fprintf(os.Stderr, "unknown trace %q\n", *exp)
@@ -51,6 +80,15 @@ func main() {
 	}
 	fmt.Println(title)
 	chart(trace, budget, *width)
+}
+
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ptbtrace: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 // chart draws the trace as rows of a horizontal ASCII plot, marking the

@@ -4,10 +4,12 @@
 // and a lock-bound one (raytrace's central work queue), where ToOne should
 // win by boosting the critical-section holder. The Dynamic selector picks
 // per cycle based on what kind of spinning is happening and should track
-// the better static policy on both.
+// the better static policy on both. The whole grid is declared as a Sweep
+// and executed in parallel on the experiment engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,18 +18,28 @@ import (
 
 func main() {
 	const cores = 8
-	const scale = 0.25
+
+	exp := ptbsim.NewExperiment(ptbsim.WithScale(0.25))
+	ctx := context.Background()
 
 	for _, bench := range []string{"ocean", "raytrace"} {
 		fmt.Printf("== %s (%d cores) ==\n", bench, cores)
-		base := run(ptbsim.Config{Benchmark: bench, Cores: cores, WorkloadScale: scale})
+		base, err := exp.Base(ctx, ptbsim.Config{Benchmark: bench, Cores: cores})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := exp.RunSweep(ctx, ptbsim.Sweep{
+			Benchmarks: []string{bench},
+			CoreCounts: []int{cores},
+			Techniques: []ptbsim.Technique{ptbsim.PTB},
+			Policies:   []ptbsim.Policy{ptbsim.ToAll, ptbsim.ToOne, ptbsim.Dynamic},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-10s %10s %10s %12s\n", "policy", "AoPB %", "energy %", "slowdown %")
-		for _, pol := range []ptbsim.Policy{ptbsim.ToAll, ptbsim.ToOne, ptbsim.Dynamic} {
-			r := run(ptbsim.Config{
-				Benchmark: bench, Cores: cores, WorkloadScale: scale,
-				Technique: ptbsim.PTB, Policy: pol,
-			})
-			fmt.Printf("%-10s %10.1f %+10.1f %+12.1f\n", pol,
+		for _, r := range rs {
+			fmt.Printf("%-10s %10.1f %+10.1f %+12.1f\n", r.Policy,
 				ptbsim.NormalizedAoPBPct(r, base),
 				ptbsim.NormalizedEnergyPct(r, base),
 				ptbsim.SlowdownPct(r, base))
@@ -36,12 +48,4 @@ func main() {
 	}
 	fmt.Println("The dynamic selector (locks → ToOne, barriers → ToAll) needs no")
 	fmt.Println("per-application tuning: it switches policy with the spinning type.")
-}
-
-func run(cfg ptbsim.Config) *ptbsim.Result {
-	r, err := ptbsim.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return r
 }

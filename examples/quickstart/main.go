@@ -1,9 +1,12 @@
 // Quickstart: run one parallel benchmark on a simulated CMP under a 50%
 // power budget with Power Token Balancing, and compare it against the
 // uncontrolled base case and plain DVFS — the paper's headline comparison.
+// The three runs execute concurrently on the experiment engine's worker
+// pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,11 +19,18 @@ func main() {
 
 	fmt.Printf("== %s on a %d-core CMP, global budget = 50%% of peak ==\n\n", bench, cores)
 
-	base := run(ptbsim.Config{Benchmark: bench, Cores: cores, WorkloadScale: 0.3})
-	dvfs := run(ptbsim.Config{Benchmark: bench, Cores: cores, WorkloadScale: 0.3,
-		Technique: ptbsim.DVFS})
-	ptb := run(ptbsim.Config{Benchmark: bench, Cores: cores, WorkloadScale: 0.3,
-		Technique: ptbsim.PTB, Policy: ptbsim.Dynamic})
+	exp := ptbsim.NewExperiment(ptbsim.WithScale(0.3))
+	ctx := context.Background()
+
+	rs, err := exp.RunAll(ctx, []ptbsim.Config{
+		{Benchmark: bench, Cores: cores},
+		{Benchmark: bench, Cores: cores, Technique: ptbsim.DVFS},
+		{Benchmark: bench, Cores: cores, Technique: ptbsim.PTB, Policy: ptbsim.Dynamic},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, dvfs, ptb := rs[0], rs[1], rs[2]
 
 	fmt.Printf("%-12s %10s %10s %10s %9s %9s\n",
 		"technique", "cycles", "energy mJ", "AoPB mJ", "meanP W", "tempC")
@@ -47,12 +57,4 @@ func main() {
 	}
 	fmt.Println("\nLower AoPB% = more accurate budget matching: PTB tracks the")
 	fmt.Println("budget far more tightly than DVFS at a small energy premium.")
-}
-
-func run(cfg ptbsim.Config) *ptbsim.Result {
-	r, err := ptbsim.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return r
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -17,7 +18,7 @@ import (
 
 func main() {
 	const traceEvery = 25
-	tr, err := ptbsim.RunTrace(ptbsim.Config{
+	tr, err := ptbsim.RunTraceContext(context.Background(), ptbsim.Config{
 		Benchmark:     "fluidanimate", // heavy fine-grained locking
 		Cores:         4,
 		WorkloadScale: 0.12,

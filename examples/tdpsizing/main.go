@@ -4,9 +4,13 @@
 // ideally doubles the core count to 32 at 3.125W each — but only if the
 // budget is matched exactly. Each technique's measured AoPB error inflates
 // the effective per-core power and shrinks the achievable core count.
+//
+// The experiment engine caches by configuration, so each benchmark's base
+// case is simulated once even though every technique normalizes to it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +22,9 @@ func main() {
 	// (The paper quotes 65% for DVFS, 40% for plain 2level, <10% for PTB.)
 	benches := []string{"ocean", "fft", "blackscholes"}
 	const cores = 8
-	const scale = 0.25
+
+	exp := ptbsim.NewExperiment(ptbsim.WithScale(0.25))
+	ctx := context.Background()
 
 	type tech struct {
 		label string
@@ -31,19 +37,24 @@ func main() {
 	}
 
 	fmt.Println("Section IV.D — trading budget accuracy for cores under a fixed TDP")
-	fmt.Printf("(errors measured on %v, %d cores, scale %.2f)\n\n", benches, cores, scale)
+	fmt.Printf("(errors measured on %v, %d cores, scale 0.25)\n\n", benches, cores)
 
 	fmt.Printf("%-12s %12s %16s %14s\n", "technique", "AoPB err %", "eff. W/core", "cores @ 100W")
 	fmt.Printf("%-12s %12s %16s %14s\n", "ideal", "0.0", "3.125", "32")
 	for _, tc := range techs {
 		var errSum float64
 		for _, b := range benches {
-			base := run(ptbsim.Config{Benchmark: b, Cores: cores, WorkloadScale: scale})
+			base, err := exp.Base(ctx, ptbsim.Config{Benchmark: b, Cores: cores})
+			if err != nil {
+				log.Fatal(err)
+			}
 			cfg := tc.cfg
 			cfg.Benchmark = b
 			cfg.Cores = cores
-			cfg.WorkloadScale = scale
-			r := run(cfg)
+			r, err := exp.Run(ctx, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
 			errSum += ptbsim.NormalizedAoPBPct(r, base)
 		}
 		err := errSum / float64(len(benches)) / 100
@@ -56,12 +67,4 @@ func main() {
 	fmt.Println("\nThe more accurately a technique matches the budget, the closer the")
 	fmt.Println("CMP gets to the ideal doubling of cores at the same TDP — the")
 	fmt.Println("paper's economic argument for PTB.")
-}
-
-func run(cfg ptbsim.Config) *ptbsim.Result {
-	r, err := ptbsim.Run(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return r
 }

@@ -1,0 +1,304 @@
+package ptbsim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ptbsim/internal/runner"
+	"ptbsim/internal/sim"
+)
+
+// Progress is one streamed update from an Experiment: a configuration
+// finished (successfully, from cache, or with an error).
+type Progress struct {
+	// Config is the finished configuration (with the experiment's scale
+	// and cycle-cap defaults applied).
+	Config Config
+	// Result is the run result, nil on error.
+	Result *Result
+	// Err is the run error, if any.
+	Err error
+	// Cached marks a result served from the experiment cache or coalesced
+	// onto a concurrent run of the same configuration.
+	Cached bool
+	// Done and Total report sweep completion (1/1 for single Run calls).
+	Done, Total int
+}
+
+// Experiment runs simulations through the parallel experiment engine:
+// a bounded worker pool with per-configuration caching, single-flight
+// deduplication (two goroutines asking for the same configuration share
+// one simulation), context cancellation, panic recovery, and streaming
+// progress. All methods are safe for concurrent use. Returned Results are
+// shared across callers and must be treated as read-only.
+type Experiment struct {
+	scale       float64
+	maxCycles   int64
+	parallelism int
+	progress    func(Progress)
+
+	eng *runner.Engine[*Result]
+
+	mu   sync.Mutex // serializes progress callbacks and the sweep counter
+	done int
+}
+
+// Option configures an Experiment.
+type Option func(*Experiment)
+
+// WithParallelism bounds the worker pool for sweeps (default
+// runtime.NumCPU(); n < 1 selects that default too). Parallelism 1
+// reproduces a fully serial sweep — results are identical either way,
+// simulations being deterministic.
+func WithParallelism(n int) Option {
+	return func(e *Experiment) { e.parallelism = n }
+}
+
+// WithScale sets the workload scale applied to configs that leave
+// WorkloadScale zero (1.0 = the Table-2 sizes).
+func WithScale(scale float64) Option {
+	return func(e *Experiment) { e.scale = scale }
+}
+
+// WithMaxCycles sets the cycle cap applied to configs that leave
+// MaxCycles zero.
+func WithMaxCycles(n int64) Option {
+	return func(e *Experiment) { e.maxCycles = n }
+}
+
+// WithProgress installs a streaming callback invoked once per finished
+// configuration. Callbacks are serialized, so fn needs no locking of its
+// own.
+func WithProgress(fn func(Progress)) Option {
+	return func(e *Experiment) { e.progress = fn }
+}
+
+// NewExperiment creates an experiment engine. Without options it runs
+// paper-sized workloads (scale 1.0) on runtime.NumCPU() workers.
+func NewExperiment(opts ...Option) *Experiment {
+	e := &Experiment{parallelism: runtime.NumCPU()}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.parallelism < 1 {
+		e.parallelism = runtime.NumCPU()
+	}
+	e.eng = runner.New[*Result](e.parallelism)
+	return e
+}
+
+// Parallelism reports the sweep worker-pool bound.
+func (e *Experiment) Parallelism() int { return e.parallelism }
+
+// normalize applies the experiment-level defaults to cfg and collapses
+// fields the simulation ignores, so equivalent configurations share one
+// cache entry (Policy and PTB-only knobs only matter to the PTB family).
+func (e *Experiment) normalize(cfg Config) Config {
+	if cfg.WorkloadScale == 0 {
+		cfg.WorkloadScale = e.scale
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = e.maxCycles
+	}
+	if cfg.Technique == "" {
+		cfg.Technique = None
+	}
+	if cfg.Technique != PTB && cfg.Technique != PTBSpinGate {
+		cfg.Policy = ToAll
+		cfg.PessimisticPTBLatency = false
+		cfg.PTBClusterSize = 0
+	}
+	return cfg
+}
+
+// key canonicalizes a normalized config into the engine cache key.
+func (e *Experiment) key(cfg Config) string {
+	return fmt.Sprintf("%s|%d|%s|%d|relax=%.4f|budget=%.4f|scale=%.4f|max=%d|pessim=%t|cluster=%d",
+		cfg.Benchmark, cfg.Cores, cfg.Technique, int(cfg.Policy),
+		cfg.RelaxFrac, cfg.BudgetFrac, cfg.WorkloadScale, cfg.MaxCycles,
+		cfg.PessimisticPTBLatency, cfg.PTBClusterSize)
+}
+
+// emit delivers one progress event; the lock serializes concurrent
+// callbacks from sweep workers (fn must not call back into e).
+func (e *Experiment) emit(p Progress) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.progress != nil {
+		e.progress(p)
+	}
+}
+
+// Run returns the result for one configuration, simulating it at most
+// once per experiment no matter how many goroutines ask concurrently.
+func (e *Experiment) Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = e.normalize(cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fresh := false
+	res, err := e.eng.Do(ctx, e.key(cfg), func(ctx context.Context) (*Result, error) {
+		fresh = true
+		return RunContext(ctx, cfg)
+	})
+	e.emit(Progress{Config: cfg, Result: res, Err: err, Cached: err == nil && !fresh, Done: 1, Total: 1})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Base returns the no-control base case matching cfg (same benchmark,
+// cores, budget and scale), the denominator of the paper's normalized
+// metrics.
+func (e *Experiment) Base(ctx context.Context, cfg Config) (*Result, error) {
+	cfg.Technique = None
+	cfg.Policy = ToAll
+	cfg.RelaxFrac = 0
+	return e.Run(ctx, cfg)
+}
+
+// RunAll executes every configuration on the worker pool and returns the
+// results in input order. Duplicate configurations coalesce onto one
+// simulation (both slots get the shared result). The first error cancels
+// the remaining runs and is returned with the partial results (failed or
+// skipped slots are nil); on cancellation the error wraps ctx.Err().
+func (e *Experiment) RunAll(ctx context.Context, cfgs []Config) ([]*Result, error) {
+	jobs := make([]runner.Job[*Result], len(cfgs))
+	normed := make([]Config, len(cfgs))
+	fresh := make([]bool, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg = e.normalize(cfg)
+		if err := cfg.Validate(); err != nil {
+			return make([]*Result, len(cfgs)), fmt.Errorf("config %d: %w", i, err)
+		}
+		normed[i] = cfg
+		i := i
+		jobs[i] = runner.Job[*Result]{
+			Key: e.key(cfg),
+			Run: func(ctx context.Context) (*Result, error) {
+				fresh[i] = true
+				return RunContext(ctx, cfg)
+			},
+		}
+	}
+	total := len(jobs)
+	e.mu.Lock()
+	e.done = 0
+	e.mu.Unlock()
+	return e.eng.ForEach(ctx, jobs, func(i int, res *Result, err error) {
+		if err != nil && ctx.Err() != nil {
+			return // one cancellation, reported by the returned error
+		}
+		e.mu.Lock()
+		e.done++
+		if e.progress != nil {
+			e.progress(Progress{Config: normed[i], Result: res, Err: err,
+				Cached: err == nil && !fresh[i], Done: e.done, Total: total})
+		}
+		e.mu.Unlock()
+	})
+}
+
+// A Sweep declares a cross-product of configurations — the shape of the
+// paper's evaluation. Zero-valued dimensions fall back to defaults, so the
+// zero Sweep is the full headline grid: every Table-2 benchmark × the
+// paper's core counts × the no-control base case.
+type Sweep struct {
+	// Benchmarks are Table-2 workload names (default: all 14).
+	Benchmarks []string
+	// CoreCounts are CMP sizes (default: 2, 4, 8, 16).
+	CoreCounts []int
+	// Techniques are the budget mechanisms (default: None).
+	Techniques []Technique
+	// Policies apply to the PTB-family techniques only; other techniques
+	// contribute one configuration regardless (default: ToAll).
+	Policies []Policy
+	// RelaxFracs are trigger-threshold relaxations (default: 0).
+	RelaxFracs []float64
+	// BudgetFracs are global budgets as fractions of peak (default: the
+	// paper's 0.5, expressed as the zero value).
+	BudgetFracs []float64
+}
+
+// Configs expands the sweep into its configuration cross-product, in
+// deterministic row-major order (benchmark, cores, budget, technique,
+// policy, relax). Policy and relax dimensions collapse for techniques
+// they cannot affect, so the list contains no redundant simulations.
+func (s Sweep) Configs() []Config {
+	benches := s.Benchmarks
+	if len(benches) == 0 {
+		for _, b := range Benchmarks() {
+			benches = append(benches, b.Name)
+		}
+	}
+	cores := s.CoreCounts
+	if len(cores) == 0 {
+		cores = []int{2, 4, 8, 16}
+	}
+	techs := s.Techniques
+	if len(techs) == 0 {
+		techs = []Technique{None}
+	}
+	policies := s.Policies
+	if len(policies) == 0 {
+		policies = []Policy{ToAll}
+	}
+	relaxes := s.RelaxFracs
+	if len(relaxes) == 0 {
+		relaxes = []float64{0}
+	}
+	budgets := s.BudgetFracs
+	if len(budgets) == 0 {
+		budgets = []float64{0}
+	}
+	var out []Config
+	for _, b := range benches {
+		for _, n := range cores {
+			for _, bud := range budgets {
+				for _, t := range techs {
+					pols := policies
+					if t != PTB && t != PTBSpinGate {
+						pols = policies[:1]
+					}
+					rxs := relaxes
+					if t == None || t == DVFS || t == DFS || t == MaxBIPS {
+						// Only the throttling ladder (2level and the PTB
+						// family on top of it) has a trigger to relax.
+						rxs = relaxes[:1]
+					}
+					for _, p := range pols {
+						for _, rx := range rxs {
+							cfg := Config{
+								Benchmark:  b,
+								Cores:      n,
+								Technique:  t,
+								BudgetFrac: bud,
+								RelaxFrac:  rx,
+							}
+							if t == PTB || t == PTBSpinGate {
+								cfg.Policy = p
+							}
+							if t == None || t == DVFS || t == DFS || t == MaxBIPS {
+								cfg.RelaxFrac = 0
+							}
+							out = append(out, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunSweep expands the sweep and executes it on the worker pool; see
+// RunAll for ordering, error and cancellation semantics.
+func (e *Experiment) RunSweep(ctx context.Context, s Sweep) ([]*Result, error) {
+	return e.RunAll(ctx, s.Configs())
+}
+
+// CoreCounts returns the CMP sizes the paper evaluates (2, 4, 8, 16).
+func CoreCounts() []int { return sim.CoreCounts() }

@@ -1,0 +1,274 @@
+// Package runner is the parallel experiment engine underneath the public
+// sweep API and the figure builders. It runs keyed, deterministic jobs on
+// a bounded worker pool with:
+//
+//   - result caching — a key is simulated at most once per engine;
+//   - single-flight deduplication — concurrent requests for the same key
+//     coalesce onto one in-flight run instead of simulating it twice;
+//   - context cancellation — callers waiting on a run return as soon as
+//     their context is done, and pool sweeps stop dispatching;
+//   - per-run panic recovery — a panicking job is retried once (transient
+//     corruption) and surfaces as a *PanicError if it panics again;
+//   - streaming events — one callback per completed request, carrying the
+//     value, coalescing/caching provenance and any error.
+//
+// The engine is generic over the job result type; the simulator layers
+// instantiate it with their result structs.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError reports a job that panicked on both attempts.
+type PanicError struct {
+	// Key identifies the failing job.
+	Key string
+	// Value is the recovered panic value of the second attempt.
+	Value any
+	// Stack is the goroutine stack captured at the second panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %q panicked twice: %v", e.Key, e.Value)
+}
+
+// Event describes one completed request, streamed to the engine's event
+// callback.
+type Event[V any] struct {
+	// Key identifies the job.
+	Key string
+	// Value is the job result (the zero value on error).
+	Value V
+	// Err is the job error, if any.
+	Err error
+	// Cached marks a request served from the result cache without running.
+	Cached bool
+	// Coalesced marks a request that waited on another caller's in-flight
+	// run of the same key.
+	Coalesced bool
+	// Retried marks a run that panicked once and succeeded on retry.
+	Retried bool
+}
+
+// flight is one in-progress run other callers can wait on.
+type flight[V any] struct {
+	done    chan struct{}
+	val     V
+	err     error
+	retried bool
+}
+
+// Engine caches and deduplicates keyed jobs and fans sweeps out over a
+// bounded worker pool. The zero value is not usable; construct with New.
+type Engine[V any] struct {
+	workers int
+	onEvent func(Event[V])
+
+	mu       sync.Mutex
+	cache    map[string]V
+	inflight map[string]*flight[V]
+}
+
+// New returns an engine whose sweeps use the given number of workers;
+// workers < 1 selects runtime.NumCPU().
+func New[V any](workers int) *Engine[V] {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine[V]{
+		workers:  workers,
+		cache:    make(map[string]V),
+		inflight: make(map[string]*flight[V]),
+	}
+}
+
+// Workers reports the sweep pool size.
+func (e *Engine[V]) Workers() int { return e.workers }
+
+// SetWorkers resizes the sweep pool (workers < 1 selects runtime.NumCPU).
+// It only affects subsequent ForEach calls.
+func (e *Engine[V]) SetWorkers(workers int) {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	e.mu.Lock()
+	e.workers = workers
+	e.mu.Unlock()
+}
+
+// SetEventFunc installs the streaming callback. Events are delivered
+// synchronously from whichever goroutine completes a request; fn must be
+// safe for concurrent use (or do its own locking).
+func (e *Engine[V]) SetEventFunc(fn func(Event[V])) {
+	e.mu.Lock()
+	e.onEvent = fn
+	e.mu.Unlock()
+}
+
+func (e *Engine[V]) emit(ev Event[V]) {
+	e.mu.Lock()
+	fn := e.onEvent
+	e.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// Cached reports the cached value for key, if any.
+func (e *Engine[V]) Cached(key string) (V, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.cache[key]
+	return v, ok
+}
+
+// Len reports the number of cached results.
+func (e *Engine[V]) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Do returns the result for key, computing it with fn at most once no
+// matter how many goroutines ask concurrently. Successful results are
+// cached forever; errors are not, so a later request retries. A caller
+// whose ctx ends while another caller's run is in flight returns its
+// ctx error immediately (the run itself keeps going for the others).
+func (e *Engine[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, error) {
+	var zero V
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	e.mu.Lock()
+	if v, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		e.emit(Event[V]{Key: key, Value: v, Cached: true})
+		return v, nil
+	}
+	if fl, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-fl.done:
+			e.emit(Event[V]{Key: key, Value: fl.val, Err: fl.err, Coalesced: true, Retried: fl.retried})
+			return fl.val, fl.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	e.inflight[key] = fl
+	e.mu.Unlock()
+
+	fl.val, fl.err, fl.retried = e.runProtected(ctx, key, fn)
+
+	e.mu.Lock()
+	if fl.err == nil {
+		e.cache[key] = fl.val
+	}
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(fl.done)
+	e.emit(Event[V]{Key: key, Value: fl.val, Err: fl.err, Retried: fl.retried})
+	return fl.val, fl.err
+}
+
+// runProtected executes fn with panic recovery, retrying once.
+func (e *Engine[V]) runProtected(ctx context.Context, key string, fn func(context.Context) (V, error)) (v V, err error, retried bool) {
+	v, err, pe := attempt(ctx, key, fn)
+	if pe == nil {
+		return v, err, false
+	}
+	v, err, pe = attempt(ctx, key, fn)
+	if pe == nil {
+		return v, err, true
+	}
+	return v, pe, true
+}
+
+func attempt[V any](ctx context.Context, key string, fn func(context.Context) (V, error)) (v V, err error, pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = &PanicError{Key: key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	v, err = fn(ctx)
+	return v, err, nil
+}
+
+// Job is one keyed unit of work for ForEach.
+type Job[V any] struct {
+	// Key identifies the job for caching and deduplication.
+	Key string
+	// Run computes the result.
+	Run func(context.Context) (V, error)
+}
+
+// ForEach runs every job through Do on at most Workers goroutines and
+// returns the results in job order. The first job error cancels the
+// remaining jobs and is returned alongside the partial results (failed or
+// skipped slots hold the zero value). Duplicate keys coalesce onto one
+// run. onDone, when non-nil, is invoked once per completed slot from
+// whichever worker finished it (it must be safe for concurrent use);
+// slots skipped after a failure get no callback.
+func (e *Engine[V]) ForEach(ctx context.Context, jobs []Job[V], onDone func(i int, v V, err error)) ([]V, error) {
+	results := make([]V, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	e.mu.Lock()
+	workers := e.workers
+	e.mu.Unlock()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := e.Do(ctx, jobs[i].Key, jobs[i].Run)
+				if onDone != nil {
+					onDone(i, v, err)
+				}
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("runner: job %q: %w", jobs[i].Key, err)
+						cancel()
+					})
+					continue
+				}
+				results[i] = v
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, ctx.Err()
+}

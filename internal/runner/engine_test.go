@@ -1,0 +1,253 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoCachesResults(t *testing.T) {
+	e := New[int](2)
+	var calls int32
+	fn := func(context.Context) (int, error) {
+		atomic.AddInt32(&calls, 1)
+		return 42, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := e.Do(context.Background(), "k", fn)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if v, ok := e.Cached("k"); !ok || v != 42 {
+		t.Fatalf("Cached = %d, %v", v, ok)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}
+
+func TestDoErrorsAreNotCached(t *testing.T) {
+	e := New[int](1)
+	var calls int32
+	boom := errors.New("boom")
+	fn := func(context.Context) (int, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return 0, boom
+		}
+		return 7, nil
+	}
+	if _, err := e.Do(context.Background(), "k", fn); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v", err)
+	}
+	v, err := e.Do(context.Background(), "k", fn)
+	if err != nil || v != 7 {
+		t.Fatalf("retry Do = %d, %v", v, err)
+	}
+}
+
+// TestSingleFlight is the duplicate-simulation-race regression test: many
+// goroutines asking for one key must trigger exactly one execution.
+func TestSingleFlight(t *testing.T) {
+	e := New[int](4)
+	var calls int32
+	release := make(chan struct{})
+	fn := func(context.Context) (int, error) {
+		atomic.AddInt32(&calls, 1)
+		<-release
+		return 1, nil
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Do(context.Background(), "same", fn)
+		}(i)
+	}
+	// Let the goroutines pile up on the flight, then release the one run.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times for one key, want 1", calls)
+	}
+}
+
+func TestWaiterHonorsCancellation(t *testing.T) {
+	e := New[int](2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go e.Do(context.Background(), "slow", func(context.Context) (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx, "slow", func(context.Context) (int, error) { return 2, nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return promptly")
+	}
+}
+
+func TestPanicRetriesOnce(t *testing.T) {
+	e := New[int](1)
+	var events []Event[int]
+	e.SetEventFunc(func(ev Event[int]) { events = append(events, ev) })
+	var calls int32
+	v, err := e.Do(context.Background(), "flaky", func(context.Context) (int, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			panic("transient")
+		}
+		return 9, nil
+	})
+	if err != nil || v != 9 {
+		t.Fatalf("Do = %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2", calls)
+	}
+	if len(events) != 1 || !events[0].Retried {
+		t.Fatalf("events = %+v, want one retried event", events)
+	}
+}
+
+func TestDoublePanicSurfacesError(t *testing.T) {
+	e := New[int](1)
+	_, err := e.Do(context.Background(), "broken", func(context.Context) (int, error) {
+		panic("hard")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Key != "broken" || pe.Value != "hard" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error incomplete: %+v", pe)
+	}
+}
+
+func TestForEachRunsAllAndDedups(t *testing.T) {
+	e := New[int](4)
+	var calls int32
+	jobs := make([]Job[int], 20)
+	for i := range jobs {
+		v := i % 5 // four duplicates of each key
+		jobs[i] = Job[int]{
+			Key: fmt.Sprint("k", v),
+			Run: func(context.Context) (int, error) {
+				atomic.AddInt32(&calls, 1)
+				return v, nil
+			},
+		}
+	}
+	out, err := e.ForEach(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i%5 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i%5)
+		}
+	}
+	if calls != 5 {
+		t.Fatalf("fn ran %d times, want 5 (dedup)", calls)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	e := New[int](workers)
+	var cur, peak int32
+	jobs := make([]Job[int], 24)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprint(i),
+			Run: func(context.Context) (int, error) {
+				n := atomic.AddInt32(&cur, 1)
+				for {
+					p := atomic.LoadInt32(&peak)
+					if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				atomic.AddInt32(&cur, -1)
+				return i, nil
+			},
+		}
+	}
+	if _, err := e.ForEach(context.Background(), jobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", peak, workers)
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	e := New[int](2)
+	boom := errors.New("boom")
+	var after int32
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprint(i),
+			Run: func(ctx context.Context) (int, error) {
+				if i == 3 {
+					return 0, boom
+				}
+				if i > 10 {
+					atomic.AddInt32(&after, 1)
+				}
+				return i, nil
+			},
+		}
+	}
+	_, err := e.ForEach(context.Background(), jobs, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The pool must stop dispatching shortly after the failure; with 2
+	// workers at most a handful of later jobs can already be in flight.
+	if after > 10 {
+		t.Fatalf("%d jobs ran after the failure — pool did not stop", after)
+	}
+}
+
+func TestForEachHonorsCancelledContext(t *testing.T) {
+	e := New[int](2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.ForEach(ctx, []Job[int]{{Key: "a", Run: func(context.Context) (int, error) { return 1, nil }}}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ptbsim/internal/workload"
+)
+
+func TestRunContextCompletes(t *testing.T) {
+	spec, _ := workload.ByName("fft")
+	res, err := RunContext(context.Background(), Config{
+		Benchmark: spec, Cores: 2, WorkloadScale: 0.04,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Committed == 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	spec, _ := workload.ByName("ocean")
+	s, err := NewSystem(Config{Benchmark: spec, Cores: 4, WorkloadScale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := s.RunContext(ctx)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, %v; want nil, context.Canceled", res, err)
+	}
+	// A pre-cancelled run must stop at the first poll, not simulate the
+	// full-scale workload (which takes minutes).
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestRunContextTwice(t *testing.T) {
+	spec, _ := workload.ByName("fft")
+	s, err := NewSystem(Config{Benchmark: spec, Cores: 2, WorkloadScale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunContext(context.Background()); err == nil {
+		t.Fatal("second RunContext must fail")
+	}
+}

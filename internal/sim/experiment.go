@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"ptbsim/internal/mesh"
 	"ptbsim/internal/metrics"
 	"ptbsim/internal/power"
+	"ptbsim/internal/runner"
 	"ptbsim/internal/workload"
 )
 
@@ -27,7 +29,10 @@ func AllBenchmarks() []string {
 func CoreCounts() []int { return []int{2, 4, 8, 16} }
 
 // Runner executes and caches simulation runs so every figure normalizes
-// against the same base cases.
+// against the same base cases. All runs flow through one parallel
+// experiment engine (internal/runner), so concurrent requests for the same
+// configuration coalesce onto a single simulation instead of racing to
+// compute it twice.
 type Runner struct {
 	// Scale shortens workloads uniformly (1.0 = Table-2 size).
 	Scale float64
@@ -36,35 +41,77 @@ type Runner struct {
 	// Progress, when non-nil, receives one line per fresh (uncached) run.
 	Progress io.Writer
 
-	mu    sync.Mutex
-	cache map[string]*metrics.RunResult
+	mu  sync.Mutex // guards Progress writes and ctx
+	eng *runner.Engine[*metrics.RunResult]
+	ctx context.Context // bound by Bind; used by the legacy Run path
 }
 
 // NewRunner creates a runner at the given workload scale.
 func NewRunner(scale float64) *Runner {
-	return &Runner{
+	r := &Runner{
 		Scale:     scale,
 		MaxCycles: 80_000_000,
-		cache:     make(map[string]*metrics.RunResult),
+		eng:       runner.New[*metrics.RunResult](0),
+		ctx:       context.Background(),
 	}
+	r.eng.SetEventFunc(func(ev runner.Event[*metrics.RunResult]) {
+		if ev.Err != nil || ev.Cached || ev.Coalesced {
+			return
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.Progress != nil {
+			fmt.Fprintf(r.Progress, "ran %-36s cycles=%d\n", ev.Key, ev.Value.Cycles)
+		}
+	})
+	return r
 }
 
-// Run returns the (cached) result of one configuration. It is safe for
-// concurrent use; two goroutines asking for the same key may both simulate
-// it, but simulations are deterministic so either result is identical.
-func (r *Runner) Run(bench string, cores int, tech Technique, pol core.Policy, relax float64) *metrics.RunResult {
-	key := fmt.Sprintf("%s/%d/%s/%v/%.2f", bench, cores, tech, pol, relax)
-	r.mu.Lock()
-	res, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return res
+// SetParallelism bounds the worker pool used by WarmContext/Warm
+// (n < 1 selects runtime.NumCPU()).
+func (r *Runner) SetParallelism(n int) { r.eng.SetWorkers(n) }
+
+// Bind installs the context consulted by the context-free Run/Base/figure
+// methods, so command-line tools can make an entire figure build
+// interruptible without threading ctx through every table builder.
+func (r *Runner) Bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	r.mu.Lock()
+	r.ctx = ctx
+	r.mu.Unlock()
+}
+
+func (r *Runner) boundCtx() context.Context {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctx
+}
+
+func runKey(bench string, cores int, tech Technique, pol core.Policy, relax float64) string {
+	return fmt.Sprintf("%s/%d/%s/%v/%.2f", bench, cores, tech, pol, relax)
+}
+
+// RunContext returns the result of one configuration, simulating it at
+// most once per runner no matter how many goroutines ask concurrently.
+// On cancellation it returns an error wrapping ctx.Err().
+func (r *Runner) RunContext(ctx context.Context, bench string, cores int, tech Technique, pol core.Policy, relax float64) (*metrics.RunResult, error) {
+	return r.eng.Do(ctx, runKey(bench, cores, tech, pol, relax), func(ctx context.Context) (*metrics.RunResult, error) {
+		return r.simulate(ctx, bench, cores, tech, pol, relax)
+	})
+}
+
+// simulate is the raw (uncached, non-deduplicated) run underneath
+// RunContext. Engine jobs must call this — not RunContext — because a job
+// already executes inside the engine's single-flight slot for its key, and
+// re-entering Do with the same key would wait on itself.
+func (r *Runner) simulate(ctx context.Context, bench string, cores int, tech Technique, pol core.Policy, relax float64) (*metrics.RunResult, error) {
 	spec, ok := workload.ByName(bench)
 	if !ok {
-		panic("sim: unknown benchmark " + bench)
+		return nil, fmt.Errorf("sim: unknown benchmark %q", bench)
 	}
-	res, err := Run(Config{
+	return RunContext(ctx, Config{
 		Benchmark:     spec,
 		Cores:         cores,
 		Technique:     tech,
@@ -73,72 +120,69 @@ func (r *Runner) Run(bench string, cores int, tech Technique, pol core.Policy, r
 		WorkloadScale: r.Scale,
 		MaxCycles:     r.MaxCycles,
 	})
+}
+
+// Run is the context-free form the figure builders use: it consults the
+// context installed with Bind and panics on any error (unknown benchmark,
+// or cancellation of the bound context).
+func (r *Runner) Run(bench string, cores int, tech Technique, pol core.Policy, relax float64) *metrics.RunResult {
+	res, err := r.RunContext(r.boundCtx(), bench, cores, tech, pol, relax)
 	if err != nil {
 		panic(err)
 	}
-	r.mu.Lock()
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "ran %-36s cycles=%d\n", key, res.Cycles)
-	}
-	r.cache[key] = res
-	r.mu.Unlock()
 	return res
 }
 
-// warmJob is one configuration to precompute.
-type warmJob struct {
-	bench string
-	cores int
-	tech  Technique
-	pol   core.Policy
-	relax float64
-}
-
-// Warm precomputes, on `workers` goroutines, every run the standard figure
-// set needs: for each benchmark × core count the base case, DVFS, DFS,
-// 2level and PTB under every policy (plus the relaxed variants when relax
-// is non-zero). Simulations are fully independent, so the sweep
-// parallelizes perfectly; subsequent figure builders then hit the cache.
-func (r *Runner) Warm(benches []string, coreCounts []int, relax float64, workers int) {
-	if workers < 1 {
-		workers = 1
+// warmJobs lists every run the standard figure set needs: for each
+// benchmark × core count the base case, DVFS, DFS, 2level and PTB under
+// every policy (plus the relaxed variants when relax is non-zero).
+func (r *Runner) warmJobs(benches []string, coreCounts []int, relax float64) []runner.Job[*metrics.RunResult] {
+	var jobs []runner.Job[*metrics.RunResult]
+	add := func(b string, n int, tech Technique, pol core.Policy, rx float64) {
+		jobs = append(jobs, runner.Job[*metrics.RunResult]{
+			Key: runKey(b, n, tech, pol, rx),
+			Run: func(ctx context.Context) (*metrics.RunResult, error) {
+				return r.simulate(ctx, b, n, tech, pol, rx)
+			},
+		})
 	}
-	var jobs []warmJob
 	for _, b := range benches {
 		for _, n := range coreCounts {
-			jobs = append(jobs,
-				warmJob{b, n, TechNone, core.PolicyToAll, 0},
-				warmJob{b, n, TechDVFS, 0, 0},
-				warmJob{b, n, TechDFS, 0, 0},
-				warmJob{b, n, Tech2Level, 0, 0},
-				warmJob{b, n, TechPTB, core.PolicyToAll, 0},
-				warmJob{b, n, TechPTB, core.PolicyToOne, 0},
-				warmJob{b, n, TechPTB, core.PolicyDynamic, 0},
-			)
+			add(b, n, TechNone, core.PolicyToAll, 0)
+			add(b, n, TechDVFS, 0, 0)
+			add(b, n, TechDFS, 0, 0)
+			add(b, n, Tech2Level, 0, 0)
+			add(b, n, TechPTB, core.PolicyToAll, 0)
+			add(b, n, TechPTB, core.PolicyToOne, 0)
+			add(b, n, TechPTB, core.PolicyDynamic, 0)
 			if relax > 0 {
-				jobs = append(jobs,
-					warmJob{b, n, TechPTB, core.PolicyToAll, relax},
-					warmJob{b, n, TechPTB, core.PolicyToOne, relax},
-				)
+				add(b, n, TechPTB, core.PolicyToAll, relax)
+				add(b, n, TechPTB, core.PolicyToOne, relax)
 			}
 		}
 	}
-	ch := make(chan warmJob)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				r.Run(j.bench, j.cores, j.tech, j.pol, j.relax)
-			}
-		}()
+	return jobs
+}
+
+// WarmContext precomputes the standard figure set on the engine's worker
+// pool (see SetParallelism). Simulations are fully independent, so the
+// sweep parallelizes perfectly; subsequent figure builders then hit the
+// cache. It returns the first error — in particular a wrapped ctx.Err()
+// when cancelled mid-sweep.
+func (r *Runner) WarmContext(ctx context.Context, benches []string, coreCounts []int, relax float64) error {
+	_, err := r.eng.ForEach(ctx, r.warmJobs(benches, coreCounts, relax), nil)
+	return err
+}
+
+// Warm is the deprecated context-free form of WarmContext; workers
+// overrides the engine parallelism.
+//
+// Deprecated: use SetParallelism and WarmContext.
+func (r *Runner) Warm(benches []string, coreCounts []int, relax float64, workers int) {
+	r.eng.SetWorkers(workers)
+	if err := r.WarmContext(r.boundCtx(), benches, coreCounts, relax); err != nil {
+		panic(err)
 	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
 }
 
 // Base returns the no-control run used for normalization.

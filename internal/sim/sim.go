@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"ptbsim/internal/budget"
@@ -292,12 +293,32 @@ func (s *System) Step() {
 	}
 }
 
+// cancelCheckCycles is how often the cycle loop polls the context: every
+// 4096 simulated cycles, i.e. a few microseconds of wall time, so
+// cancellation latency is far below one power-sample interval.
+const cancelCheckCycles = 4096
+
 // Run executes the benchmark to completion (or the cycle cap) and returns
 // the result summary.
 func (s *System) Run() *metrics.RunResult {
-	if s.stopped {
-		panic("sim: Run called twice")
+	res, err := s.RunContext(context.Background())
+	if err != nil {
+		// A background context never expires, so the only possible error
+		// is the double-run misuse this method has always panicked on.
+		panic(err)
 	}
+	return res
+}
+
+// RunContext executes the benchmark to completion (or the cycle cap),
+// polling ctx every cancelCheckCycles simulated cycles. On cancellation it
+// returns an error wrapping ctx.Err(); the partially advanced system is
+// then spent and cannot be resumed.
+func (s *System) RunContext(ctx context.Context) (*metrics.RunResult, error) {
+	if s.stopped {
+		return nil, fmt.Errorf("sim: Run called twice")
+	}
+	s.stopped = true
 	for {
 		s.Step()
 		if s.done() {
@@ -307,9 +328,14 @@ func (s *System) Run() *metrics.RunResult {
 			s.hitMax = true
 			break
 		}
+		if s.cycle%cancelCheckCycles == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: %s/%d/%s cancelled at cycle %d: %w",
+					s.cfg.Benchmark.Name, s.cfg.Cores, s.cfg.Technique, s.cycle, err)
+			}
+		}
 	}
-	s.stopped = true
-	return s.result()
+	return s.result(), nil
 }
 
 // RunCycles advances at most n cycles (for trace tooling); it stops early
@@ -364,9 +390,15 @@ func (s *System) result() *metrics.RunResult {
 
 // Run is the one-shot convenience wrapper.
 func Run(cfg Config) (*metrics.RunResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is the one-shot wrapper with cancellation: it builds a system
+// and runs it to completion unless ctx ends first.
+func RunContext(ctx context.Context, cfg Config) (*metrics.RunResult, error) {
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(), nil
+	return s.RunContext(ctx)
 }

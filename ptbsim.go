@@ -12,7 +12,7 @@
 //
 // Quick start:
 //
-//	r, err := ptbsim.Run(ptbsim.Config{
+//	r, err := ptbsim.RunContext(ctx, ptbsim.Config{
 //		Benchmark: "ocean",
 //		Cores:     8,
 //		Technique: ptbsim.PTB,
@@ -23,9 +23,16 @@
 // Budget (AoPB), performance, the execution-time breakdown, spinning power
 // and temperature statistics. Normalization helpers compare a run against
 // its no-control base case exactly as the paper's figures do.
+//
+// The paper's evaluation is a large cross-product (14 benchmarks ×
+// {2,4,8,16} cores × 7 techniques × 3 policies); NewExperiment runs such
+// sweeps on a bounded worker pool with caching, single-flight
+// deduplication, cancellation and streaming progress — see Experiment and
+// Sweep.
 package ptbsim
 
 import (
+	"context"
 	"fmt"
 
 	"ptbsim/internal/core"
@@ -214,23 +221,31 @@ func fromMetrics(r *metrics.RunResult) *Result {
 	}
 }
 
-func (r *Result) toMetrics() *metrics.RunResult {
-	return &metrics.RunResult{
-		EnergyJ: r.EnergyJ, AoPBJ: r.AoPBJ, Cycles: r.Cycles,
+// RunContext executes one simulation to completion, or until ctx ends —
+// cancellation is polled inside the cycle loop, so a cancelled run returns
+// within microseconds with an error wrapping ctx.Err(). The config is
+// validated first (see Config.Validate for the typed errors).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-}
-
-// Run executes one simulation to completion.
-func Run(cfg Config) (*Result, error) {
 	icfg, err := cfg.internal()
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(icfg)
+	res, err := sim.RunContext(ctx, icfg)
 	if err != nil {
 		return nil, err
 	}
 	return fromMetrics(res), nil
+}
+
+// Run executes one simulation to completion.
+//
+// Deprecated: use RunContext, which adds validation with typed errors and
+// cancellation. Run is equivalent to RunContext(context.Background(), cfg).
+func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
 }
 
 // TraceResult extends Result with power traces for plotting.
@@ -244,9 +259,13 @@ type TraceResult struct {
 	GlobalBudgetPJ float64
 }
 
-// RunTrace executes a simulation while recording power traces. traceCore
-// may be -1 to record only the chip trace.
-func RunTrace(cfg Config, traceEvery int64, traceCore int) (*TraceResult, error) {
+// RunTraceContext executes a simulation while recording power traces,
+// honoring ctx like RunContext. traceCore may be -1 to record only the
+// chip trace.
+func RunTraceContext(ctx context.Context, cfg Config, traceEvery int64, traceCore int) (*TraceResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	icfg, err := cfg.internal()
 	if err != nil {
 		return nil, err
@@ -257,13 +276,23 @@ func RunTrace(cfg Config, traceEvery int64, traceCore int) (*TraceResult, error)
 	if err != nil {
 		return nil, err
 	}
-	res := s.Run()
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	return &TraceResult{
 		Result:         *fromMetrics(res),
 		ChipTrace:      s.Collector().Trace(),
 		CoreTrace:      s.CoreTrace(),
 		GlobalBudgetPJ: s.GlobalBudgetPJ(),
 	}, nil
+}
+
+// RunTrace executes a simulation while recording power traces.
+//
+// Deprecated: use RunTraceContext.
+func RunTrace(cfg Config, traceEvery int64, traceCore int) (*TraceResult, error) {
+	return RunTraceContext(context.Background(), cfg, traceEvery, traceCore)
 }
 
 // EDP returns the run's energy-delay product in joule-seconds.
@@ -277,21 +306,35 @@ func (r *Result) ED2P() float64 {
 	return r.EnergyJ * d * d
 }
 
+// The normalization helpers operate on Result directly (no round-trip
+// through a partial internal struct, so new Result fields can never
+// silently drop out of them) and mirror internal/metrics exactly.
+
 // NormalizedEnergyPct returns the paper's "Normalized Energy (%)" of r
 // against the base case (negative = savings).
 func NormalizedEnergyPct(r, base *Result) float64 {
-	return metrics.NormalizedEnergyPct(r.toMetrics(), base.toMetrics())
+	if base.EnergyJ == 0 {
+		return 0
+	}
+	return (r.EnergyJ/base.EnergyJ - 1) * 100
 }
 
 // NormalizedAoPBPct returns the paper's "Normalized AoPB (%)" against the
 // base case (lower = more accurate budget matching).
 func NormalizedAoPBPct(r, base *Result) float64 {
-	return metrics.NormalizedAoPBPct(r.toMetrics(), base.toMetrics())
+	if base.AoPBJ == 0 {
+		return 0
+	}
+	return r.AoPBJ / base.AoPBJ * 100
 }
 
-// SlowdownPct returns the performance degradation against the base case.
+// SlowdownPct returns the performance degradation against the base case
+// in percent (positive = slower).
 func SlowdownPct(r, base *Result) float64 {
-	return metrics.SlowdownPct(r.toMetrics(), base.toMetrics())
+	if base.Cycles == 0 {
+		return 0
+	}
+	return (float64(r.Cycles)/float64(base.Cycles) - 1) * 100
 }
 
 // BenchmarkInfo describes one Table-2 workload.
