@@ -1,0 +1,62 @@
+# Development entry points. Everything here is plain go tooling; the
+# Makefile only names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-short race check golden bench bench-baseline bench-compare fuzz fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Full suite, including the golden-digest matrix (~15 s of simulation).
+test:
+	$(GO) test ./...
+
+# Unit tests only; skips the golden matrix and other long runs.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -shuffle=on -count=1 -short ./...
+
+# Full technique×benchmark matrix with the runtime invariant layer on,
+# failing on any conservation/consistency violation or digest drift.
+check:
+	$(GO) test -count=1 -run 'TestGoldenMatrixDigests|TestInvariants' -v .  ./internal/sim/
+
+# Regenerate the committed golden digests and the paper-table sweep
+# (testdata/golden/matrix_scale025.txt, results_sweep.txt). Review the
+# diff like source: it should only change with intentional model edits.
+golden:
+	$(GO) generate .
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkSimStep' -benchtime 3s ./internal/sim/
+
+# Re-record BENCH_baseline.json on this machine (see cmd/ptbbench).
+bench-baseline:
+	( $(GO) test -run xxx -bench . -benchtime 1x . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkSimStep' -benchtime 3s ./internal/sim/ ) \
+	| $(GO) run ./cmd/ptbbench -save BENCH_baseline.json
+
+# Compare a fresh benchmark run against the committed baseline.
+bench-compare:
+	( $(GO) test -run xxx -bench . -benchtime 1x . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkSimStep' -benchtime 3s ./internal/sim/ ) \
+	| $(GO) run ./cmd/ptbbench -compare BENCH_baseline.json
+
+# Short exploratory fuzz of the parsing/validation surfaces (seed corpora
+# under testdata/fuzz/ run on every plain `go test`).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzParseTechnique -fuzztime 30s .
+	$(GO) test -run xxx -fuzz FuzzParsePolicy -fuzztime 30s .
+	$(GO) test -run xxx -fuzz FuzzConfigValidate -fuzztime 30s .
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,193 @@
+// Command ptbbench turns `go test -bench` output into a committed JSON
+// baseline and checks later runs against it, guarding the simulator's
+// per-cycle cost (BenchmarkSimStep / BenchmarkSimStepInvariants and the
+// figure benchmarks in bench_test.go).
+//
+// Record a baseline:
+//
+//	go test -run xxx -bench . ./... | go run ./cmd/ptbbench -save BENCH_baseline.json
+//
+// Check a run against it (exit status 1 on regression):
+//
+//	go test -run xxx -bench . ./... | go run ./cmd/ptbbench -compare BENCH_baseline.json -tol 0.25
+//
+// Benchmark timings are only comparable on the same class of machine; the
+// baseline records GOOS/GOARCH/CPU so a cross-machine comparison can be
+// recognized and read with appropriate suspicion. The tolerance is
+// therefore generous by default (25%): the baseline catches order-of-
+// magnitude regressions (an accidentally quadratic loop, invariants
+// accidentally always-on), not micro-drift. The specific claim that the
+// *disabled* invariant layer costs <2% is checked directly from the two
+// SimStep benchmarks of a single run (same machine, same session), where
+// that precision is meaningful.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds any b.ReportMetric extras (unit → value).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the committed JSON document.
+type Baseline struct {
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// parse reads `go test -bench` output and returns the benchmarks plus the
+// reported cpu line, if any.
+func parse(r *bufio.Scanner) (map[string]Bench, string, error) {
+	out := map[string]Bench{}
+	cpu := ""
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		b := Bench{Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad value in %q: %w", line, err)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+		out[m[1]] = b
+	}
+	return out, cpu, r.Err()
+}
+
+// checkInvariantOverhead verifies the headline DESIGN.md §8 claim from a
+// single run's own numbers: with checks disabled the step cost must be
+// within maxPct of... nothing to compare against pre-layer code, so the
+// measurable form is the enabled/disabled pair. Returns ok=false when the
+// pair is absent.
+func checkInvariantOverhead(bs map[string]Bench) (pct float64, ok bool) {
+	off, okOff := bs["BenchmarkSimStep"]
+	on, okOn := bs["BenchmarkSimStepInvariants"]
+	if !okOff || !okOn || off.NsPerOp == 0 {
+		return 0, false
+	}
+	return (on.NsPerOp/off.NsPerOp - 1) * 100, true
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ptbbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	save := flag.String("save", "", "write parsed stdin as a JSON baseline to this path")
+	compare := flag.String("compare", "", "compare parsed stdin against this JSON baseline")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression in -compare mode")
+	flag.Parse()
+	if (*save == "") == (*compare == "") {
+		fail("exactly one of -save or -compare is required")
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	benches, cpu, err := parse(sc)
+	if err != nil {
+		fail("parsing stdin: %v", err)
+	}
+	if len(benches) == 0 {
+		fail("no benchmark lines on stdin (pipe `go test -bench .` output in)")
+	}
+	if pct, ok := checkInvariantOverhead(benches); ok {
+		fmt.Printf("invariant layer step overhead (enabled vs disabled): %+.2f%%\n", pct)
+	}
+
+	if *save != "" {
+		doc := Baseline{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPU: cpu, Benchmarks: benches}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fail("encoding baseline: %v", err)
+		}
+		if err := os.WriteFile(*save, append(buf, '\n'), 0o644); err != nil {
+			fail("writing %s: %v", *save, err)
+		}
+		fmt.Printf("saved %d benchmarks to %s\n", len(benches), *save)
+		return
+	}
+
+	buf, err := os.ReadFile(*compare)
+	if err != nil {
+		fail("reading baseline: %v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fail("decoding %s: %v", *compare, err)
+	}
+	if base.GOOS != runtime.GOOS || base.GOARCH != runtime.GOARCH {
+		fmt.Printf("note: baseline is %s/%s, this run is %s/%s — timings are not directly comparable\n",
+			base.GOOS, base.GOARCH, runtime.GOOS, runtime.GOARCH)
+	}
+	regressions := 0
+	compared := 0
+	for name, cur := range benches {
+		ref, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("new       %-40s %12.1f ns/op (not in baseline)\n", name, cur.NsPerOp)
+			continue
+		}
+		compared++
+		ratio := 0.0
+		if ref.NsPerOp > 0 {
+			ratio = cur.NsPerOp/ref.NsPerOp - 1
+		}
+		status := "ok"
+		if ratio > *tol {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Printf("%-9s %-40s %12.1f ns/op vs %12.1f baseline (%+.1f%%)\n",
+			status, name, cur.NsPerOp, ref.NsPerOp, ratio*100)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := benches[name]; !ok {
+			fmt.Printf("missing   %-40s (in baseline, not in this run)\n", name)
+		}
+	}
+	fmt.Printf("compared %d benchmarks, %d regression(s) beyond %.0f%%\n",
+		compared, regressions, *tol*100)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,118 @@
+// Command ptbgolden regenerates the golden run digests under
+// testdata/golden/: one deterministic fingerprint line per configuration of
+// the technique×benchmark matrix (see Result.Digest for the format). The
+// committed file is the whole-simulator regression baseline — any
+// behavioral change to the pipeline, caches, NoC, power model or budget
+// controllers shifts at least one digest, and the golden test catches it.
+//
+// Output is byte-stable: no timestamps, deterministic run order, and
+// digests independent of -par (simulations are single-threaded and
+// deterministic). Invariant checking is on by default so a regenerated
+// baseline is also a certified zero-violation matrix.
+//
+// Usage:
+//
+//	go generate ./...                   # rewrites testdata/golden/
+//	ptbgolden -o matrix.txt -par 8
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"ptbsim"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.25, "workload scale (matches the committed baseline)")
+		cores   = flag.Int("cores", 4, "CMP size for the matrix")
+		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations (output is identical at any value)")
+		check   = flag.Bool("check", true, "enable runtime invariant checks on every run")
+		quiet   = flag.Bool("q", false, "suppress per-run progress")
+		outPath = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		out = f
+	}
+
+	opts := []ptbsim.Option{
+		ptbsim.WithScale(*scale),
+		ptbsim.WithParallelism(*par),
+	}
+	if *check {
+		opts = append(opts, ptbsim.WithInvariants())
+	}
+	if !*quiet {
+		opts = append(opts, ptbsim.WithProgress(func(p ptbsim.Progress) {
+			if p.Err == nil {
+				fmt.Fprintf(os.Stderr, "ran %3d/%d %s/%d/%s\n",
+					p.Done, p.Total, p.Config.Benchmark, p.Config.Cores, p.Config.Technique)
+			}
+		}))
+	}
+	e := ptbsim.NewExperiment(opts...)
+
+	var techs []ptbsim.Technique
+	for _, name := range ptbsim.TechniqueNames() {
+		t, err := ptbsim.ParseTechnique(name)
+		if err != nil {
+			fail(err)
+		}
+		techs = append(techs, t)
+	}
+	sweep := ptbsim.Sweep{
+		CoreCounts: []int{*cores},
+		Techniques: techs,
+		// The PTB family runs its headline Dynamic policy; the policy
+		// dimension collapses for every other technique.
+		Policies: []ptbsim.Policy{ptbsim.Dynamic},
+	}
+	results, err := e.RunSweep(ctx, sweep)
+	if err != nil {
+		fail(err)
+	}
+
+	w := bufio.NewWriter(out)
+	fmt.Fprintf(w, "# golden run digests: cores=%d scale=%g techniques=all policies=dynamic\n", *cores, *scale)
+	fmt.Fprintf(w, "# regenerate: go generate ./...  (or: make golden)\n")
+	for _, r := range results {
+		fmt.Fprintln(w, r.Digest())
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ptbgolden: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -34,6 +34,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = Table 2 size)")
 		noBase  = flag.Bool("nobase", false, "skip the base-case run and normalization")
 		pessim  = flag.Bool("pessimistic", false, "use the 10-cycle PTB latency")
+		check   = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
 		listAll = flag.Bool("list", false, "list benchmarks and exit")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON")
 	)
@@ -69,6 +70,7 @@ func main() {
 		BudgetFrac:            *budget,
 		WorkloadScale:         *scale,
 		PessimisticPTBLatency: *pessim,
+		CheckInvariants:       *check,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,6 +54,8 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
 		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations (1 = serial; output is identical at any value)")
 		format  = flag.String("format", "text", "output format: text, md, csv")
+		check   = flag.Bool("check", false, "enable runtime invariant checks on every run (fails on any violation)")
+		outPath = flag.String("o", "", "write output to this file instead of stdout (for go:generate)")
 	)
 	flag.Parse()
 
@@ -63,20 +66,36 @@ func main() {
 	// handler below turns into a clean exit.
 	defer exitOnInterrupt()
 
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		out = f
+	}
+
 	render := func(t *sim.Table) {
 		switch *format {
 		case "md":
-			t.RenderMarkdown(os.Stdout)
+			t.RenderMarkdown(out)
 		case "csv":
-			t.RenderCSV(os.Stdout)
+			t.RenderCSV(out)
 		default:
-			t.Render(os.Stdout)
+			t.Render(out)
 		}
 	}
 
 	r := sim.NewRunner(*scale)
 	r.Bind(ctx)
 	r.SetParallelism(*par)
+	r.CheckInvariants = *check
 	if !*quiet {
 		r.Progress = os.Stderr
 	}

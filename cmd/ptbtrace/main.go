@@ -29,6 +29,7 @@ func main() {
 		scale = flag.Float64("scale", 0.15, "workload scale")
 		csv   = flag.Bool("csv", false, "emit CSV samples instead of an ASCII chart")
 		width = flag.Int("width", 100, "chart columns")
+		check = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
 	)
 	flag.Parse()
 
@@ -41,11 +42,12 @@ func main() {
 	switch *exp {
 	case "fig5":
 		tr, err := ptbsim.RunTraceContext(ctx, ptbsim.Config{
-			Benchmark:     "ocean",
-			Cores:         4,
-			Technique:     ptbsim.None,
-			WorkloadScale: *scale,
-			MaxCycles:     20_000_000,
+			Benchmark:       "ocean",
+			Cores:           4,
+			Technique:       ptbsim.None,
+			WorkloadScale:   *scale,
+			MaxCycles:       20_000_000,
+			CheckInvariants: *check,
 		}, 50, -1)
 		if err != nil {
 			fail(err)
@@ -54,11 +56,12 @@ func main() {
 		title = "Figure 5 — per-cycle CMP power vs the global power budget (4-core ocean)"
 	case "fig6":
 		tr, err := ptbsim.RunTraceContext(ctx, ptbsim.Config{
-			Benchmark:     "raytrace",
-			Cores:         4,
-			Technique:     ptbsim.None,
-			WorkloadScale: *scale,
-			MaxCycles:     20_000_000,
+			Benchmark:       "raytrace",
+			Cores:           4,
+			Technique:       ptbsim.None,
+			WorkloadScale:   *scale,
+			MaxCycles:       20_000_000,
+			CheckInvariants: *check,
 		}, 10, 2)
 		if err != nil {
 			fail(err)

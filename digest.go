@@ -1,0 +1,37 @@
+package ptbsim
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Digest returns a deterministic one-line fingerprint of the run for the
+// golden regression harness (testdata/golden/): the configuration label
+// followed by the timing, energy, token-flow, coherence and NoC totals, and
+// a short SHA-256 fragment over the line for at-a-glance diffing.
+//
+// Floating-point fields are rendered with strconv.FormatFloat in hexadecimal
+// ('x') format, which round-trips the exact bit pattern — two digests are
+// byte-identical iff every covered quantity is bit-identical, so golden
+// comparisons detect even last-ULP behavioral drift. Simulations are
+// single-threaded and deterministic, which makes digests independent of
+// sweep parallelism; the golden tests assert exactly that.
+func (r *Result) Digest() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	label := string(r.Technique)
+	if r.Policy != "" {
+		label += "/" + r.Policy
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%d/%s cycles=%d committed=%d", r.Benchmark, r.Cores, label, r.Cycles, r.Committed)
+	fmt.Fprintf(&b, " energy=%s aopb=%s", f(r.EnergyJ), f(r.AoPBJ))
+	fmt.Fprintf(&b, " tokens=%s/%s/%s rounds=%d",
+		f(r.TokenDonatedPJ), f(r.TokenGrantedPJ), f(r.TokenDiscardedPJ), r.BalanceRounds)
+	fmt.Fprintf(&b, " coh=%d/%d/%d/%d/%d", r.CohGetS, r.CohGetX, r.CohPut, r.CohFwd, r.CohInv)
+	fmt.Fprintf(&b, " noc=%d/%d", r.NoCMessages, r.NoCFlits)
+	sum := sha256.Sum256([]byte(b.String()))
+	fmt.Fprintf(&b, " sha=%x", sum[:6])
+	return b.String()
+}

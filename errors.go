@@ -6,8 +6,15 @@ import (
 	"math"
 	"strings"
 
+	"ptbsim/internal/invariant"
 	"ptbsim/internal/workload"
 )
+
+// ErrInvariantViolation is the sentinel wrapped by every error a
+// CheckInvariants-enabled run returns when a runtime invariant fails; branch
+// with errors.Is(err, ErrInvariantViolation). The error text lists each
+// violated check with its cycle and a description.
+var ErrInvariantViolation = invariant.ErrViolated
 
 // Typed validation errors. Config.Validate, ParseTechnique and ParsePolicy
 // return errors wrapping one of these sentinels, so callers can branch

@@ -37,6 +37,7 @@ type Experiment struct {
 	scale       float64
 	maxCycles   int64
 	parallelism int
+	invariants  bool
 	progress    func(Progress)
 
 	eng *runner.Engine[*Result]
@@ -66,6 +67,15 @@ func WithScale(scale float64) Option {
 // MaxCycles zero.
 func WithMaxCycles(n int64) Option {
 	return func(e *Experiment) { e.maxCycles = n }
+}
+
+// WithInvariants enables the runtime invariant layer on every run the
+// experiment executes (configs that already set CheckInvariants keep it
+// either way). A violation fails that run with an error wrapping
+// ErrInvariantViolation. Checked runs produce identical Results — the
+// checks only read simulation state — at a small simulation-speed cost.
+func WithInvariants() Option {
+	return func(e *Experiment) { e.invariants = true }
 }
 
 // WithProgress installs a streaming callback invoked once per finished
@@ -110,15 +120,18 @@ func (e *Experiment) normalize(cfg Config) Config {
 		cfg.PessimisticPTBLatency = false
 		cfg.PTBClusterSize = 0
 	}
+	if e.invariants {
+		cfg.CheckInvariants = true
+	}
 	return cfg
 }
 
 // key canonicalizes a normalized config into the engine cache key.
 func (e *Experiment) key(cfg Config) string {
-	return fmt.Sprintf("%s|%d|%s|%d|relax=%.4f|budget=%.4f|scale=%.4f|max=%d|pessim=%t|cluster=%d",
+	return fmt.Sprintf("%s|%d|%s|%d|relax=%.4f|budget=%.4f|scale=%.4f|max=%d|pessim=%t|cluster=%d|check=%t",
 		cfg.Benchmark, cfg.Cores, cfg.Technique, int(cfg.Policy),
 		cfg.RelaxFrac, cfg.BudgetFrac, cfg.WorkloadScale, cfg.MaxCycles,
-		cfg.PessimisticPTBLatency, cfg.PTBClusterSize)
+		cfg.PessimisticPTBLatency, cfg.PTBClusterSize, cfg.CheckInvariants)
 }
 
 // emit delivers one progress event; the lock serializes concurrent

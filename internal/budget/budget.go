@@ -6,8 +6,12 @@
 package budget
 
 import (
+	"fmt"
+	"math"
+
 	"ptbsim/internal/cpu"
 	"ptbsim/internal/dvfs"
+	"ptbsim/internal/invariant"
 	"ptbsim/internal/microarch"
 	"ptbsim/internal/power"
 	"ptbsim/internal/syncprim"
@@ -225,6 +229,60 @@ func (t *TwoLevel) Tick(st *ChipState) {
 		microarch.Apply(k, lvl)
 		t.techniqueCycles[lvl]++
 	}
+}
+
+// CheckState verifies the budget-framework invariants on the per-cycle
+// chip state, for the invariant layer:
+//
+//   - the naive local split sums back to the global budget (§III.C);
+//   - no core donated more than its local share, and no ledger is
+//     negative (a donor can only give away unused allotment, §III.E.2);
+//   - ChipEstPJ is the sum of the per-core estimates, and is finite;
+//   - the chip-wide estimate stays within a generous multiple of
+//     structuralPeakPJ (the all-ports-fire worst case). The estimate is a
+//     forecast: it charges each instruction's lifetime energy — cache-miss
+//     service included — at fetch over an 8-cycle window (§III.B), so
+//     during miss bursts it legitimately exceeds the structural per-cycle
+//     peak by small factors. A double-counting bug in the token model
+//     compounds far past estSlack, which is what the bound catches.
+func CheckState(st *ChipState, structuralPeakPJ float64) error {
+	var localSum float64
+	for i := 0; i < st.NCores; i++ {
+		localSum += st.LocalBudgetPJ[i]
+		if st.LocalBudgetPJ[i] < 0 {
+			return fmt.Errorf("budget: core %d negative local budget %.6f pJ", i, st.LocalBudgetPJ[i])
+		}
+		if st.DonatedPJ[i] < 0 || st.DonatedPJ[i] > st.LocalBudgetPJ[i]+1e-9 {
+			return fmt.Errorf("budget: core %d donated %.6f pJ outside [0, local %.6f]",
+				i, st.DonatedPJ[i], st.LocalBudgetPJ[i])
+		}
+		if st.ExtraPJ[i] < 0 {
+			return fmt.Errorf("budget: core %d negative grant %.6f pJ", i, st.ExtraPJ[i])
+		}
+		if st.EstPJ[i] < 0 {
+			return fmt.Errorf("budget: core %d negative power estimate %.6f pJ", i, st.EstPJ[i])
+		}
+	}
+	if !invariant.CloseTo(localSum, st.GlobalBudgetPJ) {
+		return fmt.Errorf("budget: local budgets sum to %.6f pJ, global budget is %.6f pJ",
+			localSum, st.GlobalBudgetPJ)
+	}
+	var estSum float64
+	for i := 0; i < st.NCores; i++ {
+		estSum += st.EstPJ[i]
+	}
+	if !invariant.CloseTo(estSum, st.ChipEstPJ) {
+		return fmt.Errorf("budget: ChipEstPJ %.6f pJ != Σ per-core estimates %.6f pJ", st.ChipEstPJ, estSum)
+	}
+	if math.IsNaN(st.ChipEstPJ) || math.IsInf(st.ChipEstPJ, 0) {
+		return fmt.Errorf("budget: chip estimate is %v", st.ChipEstPJ)
+	}
+	const estSlack = 16
+	if structuralPeakPJ > 0 && st.ChipEstPJ > estSlack*structuralPeakPJ {
+		return fmt.Errorf("budget: chip estimate %.6f pJ exceeds %d× the structural peak %.6f pJ",
+			st.ChipEstPJ, estSlack, structuralPeakPJ)
+	}
+	return nil
 }
 
 // None is the no-control baseline.

@@ -1,0 +1,79 @@
+package budget
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCheckStateClean verifies a freshly built (and a refreshed) chip state
+// satisfies every budget invariant.
+func TestCheckStateClean(t *testing.T) {
+	st := newState(4, 1000)
+	if err := CheckState(st, 5000); err != nil {
+		t.Fatalf("fresh state violates: %v", err)
+	}
+	st.Refresh(1)
+	if err := CheckState(st, 5000); err != nil {
+		t.Fatalf("refreshed state violates: %v", err)
+	}
+}
+
+// TestCheckStateDetectsCorruption breaks each checked property in turn and
+// verifies CheckState reports it.
+func TestCheckStateDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(st *ChipState)
+		wantMsg string
+	}{
+		{"negative-local", func(st *ChipState) {
+			st.LocalBudgetPJ[1] = -1
+		}, "negative local budget"},
+		{"split-mismatch", func(st *ChipState) {
+			st.LocalBudgetPJ[0] += 50
+		}, "local budgets sum"},
+		{"negative-donation", func(st *ChipState) {
+			st.DonatedPJ[2] = -0.5
+		}, "donated"},
+		{"over-donation", func(st *ChipState) {
+			st.DonatedPJ[2] = st.LocalBudgetPJ[2] + 1
+		}, "donated"},
+		{"negative-grant", func(st *ChipState) {
+			st.ExtraPJ[0] = -1
+		}, "negative grant"},
+		{"negative-estimate", func(st *ChipState) {
+			st.EstPJ[3] = -2
+			st.ChipEstPJ = -2
+		}, "negative power estimate"},
+		{"chip-estimate-mismatch", func(st *ChipState) {
+			st.ChipEstPJ += 100
+		}, "Σ per-core estimates"},
+		// NaN poisons the CloseTo sum identity first; either message means
+		// the poisoned estimate was caught.
+		{"nan-estimate", func(st *ChipState) {
+			for i := range st.EstPJ {
+				st.EstPJ[i] = math.NaN()
+			}
+			st.ChipEstPJ = math.NaN()
+		}, "ChipEstPJ"},
+		{"absurd-estimate", func(st *ChipState) {
+			st.EstPJ[0] = 1e9
+			st.ChipEstPJ = 1e9
+		}, "structural peak"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			st := newState(4, 1000)
+			tc.corrupt(st)
+			err := CheckState(st, 5000)
+			if err == nil {
+				t.Fatal("corruption went undetected")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}

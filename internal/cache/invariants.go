@@ -2,6 +2,48 @@ package cache
 
 import "fmt"
 
+// CheckDirectoryEntries verifies the structural legality of every home
+// directory entry without requiring quiescence, so the invariant layer can
+// run it every epoch while coherence messages are in flight:
+//
+//   - the state is one of uncached/shared/owned;
+//   - an owned entry names a valid owner cache, and the owner is never
+//     simultaneously in its own sharer set;
+//   - an uncached entry has no sharers (PutS collapses the sharer set);
+//   - a non-busy entry has an empty transaction queue (the drain loop runs
+//     queued requests whenever the line unblocks).
+//
+// The full MOESI cross-check against L1 contents (CheckInvariants) still
+// needs a quiescent point and runs once at the end of an invariant-enabled
+// run.
+func (h *Hierarchy) CheckDirectoryEntries() error {
+	maxID := CacheID(2 * h.N)
+	for node, bank := range h.Banks {
+		for line, e := range bank.lines {
+			switch e.state {
+			case dirUncached:
+				if e.sharers != 0 {
+					return fmt.Errorf("bank %d line %#x: uncached but sharer set %#x", node, line, e.sharers)
+				}
+			case dirShared:
+			case dirOwned:
+				if e.owner < 0 || e.owner >= maxID {
+					return fmt.Errorf("bank %d line %#x: owned by out-of-range cache %d", node, line, e.owner)
+				}
+				if e.isSharer(e.owner) {
+					return fmt.Errorf("bank %d line %#x: owner %d also in its sharer set", node, line, e.owner)
+				}
+			default:
+				return fmt.Errorf("bank %d line %#x: illegal directory state %d", node, line, e.state)
+			}
+			if !e.busy && len(e.queue) > 0 {
+				return fmt.Errorf("bank %d line %#x: idle with %d queued transactions", node, line, len(e.queue))
+			}
+		}
+	}
+	return nil
+}
+
 // CheckInvariants walks every cache and directory entry and verifies the
 // global MOESI invariants hold at a quiescent point (no messages in
 // flight). It returns the first violation found, or nil. Tests call it

@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckDirectoryEntriesCleanAfterTraffic drives real coherence traffic
+// (shared readers, an exclusive writer, a steal) and expects the structural
+// directory check to stay clean throughout — it must hold even while
+// messages are in flight, so it is asserted mid-traffic too.
+func TestCheckDirectoryEntriesCleanAfterTraffic(t *testing.T) {
+	r := newRig(4)
+	for core := 0; core < 4; core++ {
+		core := core
+		r.h.Read(core, 0x4000, func() {})
+	}
+	r.h.Write(1, 0x4000, func() {})
+	if err := r.h.CheckDirectoryEntries(); err != nil {
+		t.Fatalf("structural check failed mid-flight: %v", err)
+	}
+	r.run(t, 100000)
+	if err := r.h.CheckDirectoryEntries(); err != nil {
+		t.Fatalf("structural check failed at quiescence: %v", err)
+	}
+	if err := r.h.CheckInvariants(); err != nil {
+		t.Fatalf("full MOESI check failed at quiescence: %v", err)
+	}
+}
+
+// TestCheckDirectoryEntriesDetectsCorruption corrupts directory entries in
+// each of the ways the structural check covers and verifies every one is
+// reported — the detection side of the invariant layer.
+func TestCheckDirectoryEntriesDetectsCorruption(t *testing.T) {
+	line := uint64(0x8000)
+	cases := []struct {
+		name    string
+		corrupt func(e *dirEntry)
+		wantMsg string
+	}{
+		{"uncached-with-sharers", func(e *dirEntry) {
+			e.state = dirUncached
+			e.sharers = 1
+		}, "uncached but sharer set"},
+		{"out-of-range-owner", func(e *dirEntry) {
+			e.state = dirOwned
+			e.owner = 99
+		}, "out-of-range cache"},
+		{"owner-in-sharer-set", func(e *dirEntry) {
+			e.state = dirOwned
+			e.owner = 2
+			e.addSharer(2)
+		}, "also in its sharer set"},
+		{"illegal-state", func(e *dirEntry) {
+			e.state = dirState(42)
+		}, "illegal directory state"},
+		{"idle-with-queue", func(e *dirEntry) {
+			e.busy = false
+			e.queue = append(e.queue, struct{}{})
+		}, "queued transactions"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(4)
+			r.h.Read(0, line, func() {})
+			r.run(t, 100000)
+			home := r.h.Banks[int((line/64)%uint64(4))]
+			e, ok := home.lines[line]
+			if !ok {
+				t.Fatal("line missing from its home directory after a read")
+			}
+			tc.corrupt(e)
+			err := r.h.CheckDirectoryEntries()
+			if err == nil {
+				t.Fatal("corruption went undetected")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "ptbsim/internal/budget"
+import (
+	"fmt"
+
+	"ptbsim/internal/budget"
+)
 
 // ClusteredBalancer is the paper's scalability proposal (§III.E.2): "one
 // approach to make PTB more scalable (>32 cores) consists of clustering the
@@ -49,6 +53,18 @@ func (c *ClusteredBalancer) Name() string {
 
 // Groups returns the per-cluster balancers (stats/tests).
 func (c *ClusteredBalancer) Groups() []*Balancer { return c.groups }
+
+// CheckConservation verifies token conservation independently for every
+// cluster (tokens never cross cluster boundaries, so each group must
+// balance its own ledger).
+func (c *ClusteredBalancer) CheckConservation() error {
+	for gi, g := range c.groups {
+		if err := g.CheckConservation(); err != nil {
+			return fmt.Errorf("cluster %d: %w", gi, err)
+		}
+	}
+	return nil
+}
 
 // build creates one ChipState view per cluster, aliasing subslices of the
 // chip-wide state so grants and donations write through.

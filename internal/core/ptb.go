@@ -28,7 +28,10 @@
 package core
 
 import (
+	"fmt"
+
 	"ptbsim/internal/budget"
+	"ptbsim/internal/invariant"
 	"ptbsim/internal/power"
 )
 
@@ -173,6 +176,35 @@ func (b *Balancer) Stats() (donated, granted, discarded float64, rounds int64) {
 // PolicyRounds returns how many landing rounds used ToOne and ToAll.
 func (b *Balancer) PolicyRounds() (toOne, toAll int64) {
 	return b.toOneRounds, b.toAllRounds
+}
+
+// PendingPJ returns the token energy currently in flight toward the
+// balancer (donated but not yet landed as grants or discards).
+func (b *Balancer) PendingPJ() float64 {
+	var s float64
+	for _, f := range b.flights {
+		s += f.total
+	}
+	return s
+}
+
+// CheckConservation verifies power-token conservation across balancing:
+// tokens are a currency, so every picojoule ever donated must have been
+// granted to a needy core, discarded (no taker when the batch landed), or
+// still be in flight. §III.E's "a donating core sets a more restrictive
+// power budget" only sums to the global budget if this ledger balances;
+// a leak here would silently break the paper's AoPB accounting.
+func (b *Balancer) CheckConservation() error {
+	out := b.grantedPJ + b.discardedPJ + b.PendingPJ()
+	if !invariant.CloseTo(b.donatedPJ, out) {
+		return fmt.Errorf("core: token leak: donated %.6f pJ != granted %.6f + discarded %.6f + in-flight %.6f pJ",
+			b.donatedPJ, b.grantedPJ, b.discardedPJ, b.PendingPJ())
+	}
+	if b.donatedPJ < 0 || b.grantedPJ < 0 || b.discardedPJ < 0 {
+		return fmt.Errorf("core: negative token ledger: donated %.6f granted %.6f discarded %.6f",
+			b.donatedPJ, b.grantedPJ, b.discardedPJ)
+	}
+	return nil
 }
 
 // Tick runs one balancing cycle: land arriving token batches as grants,

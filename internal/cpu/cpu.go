@@ -14,6 +14,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"ptbsim/internal/isa"
 	"ptbsim/internal/power"
 )
@@ -298,6 +300,30 @@ func (c *Core) TokenRate() float64 { return c.tokenRate }
 // ROBOccupancy returns the current number of in-flight instructions, whose
 // window-residency energy is part of the core's power.
 func (c *Core) ROBOccupancy() int { return c.count }
+
+// LSQOccupancy returns the number of memory operations currently holding
+// load/store-queue entries.
+func (c *Core) LSQOccupancy() int { return c.lsqCount }
+
+// CheckOccupancy verifies the pipeline's structural occupancy bounds: the
+// ROB, LSQ, store buffer and fetch pipe can never hold more entries than
+// they have (nor a negative count — the signature of a double release).
+// The invariant layer runs this every epoch; dispatch/commit bugs that
+// would silently corrupt the window-residency power term (ROB occupancy ×
+// token unit, §III.B) surface here instead.
+func (c *Core) CheckOccupancy() error {
+	switch {
+	case c.count < 0 || c.count > c.cfg.ROBSize:
+		return fmt.Errorf("cpu: core %d ROB occupancy %d outside [0, %d]", c.id, c.count, c.cfg.ROBSize)
+	case c.lsqCount < 0 || c.lsqCount > c.cfg.LSQSize:
+		return fmt.Errorf("cpu: core %d LSQ occupancy %d outside [0, %d]", c.id, c.lsqCount, c.cfg.LSQSize)
+	case c.storeBuf < 0 || c.storeBuf > c.cfg.StoreBufSize:
+		return fmt.Errorf("cpu: core %d store buffer %d outside [0, %d]", c.id, c.storeBuf, c.cfg.StoreBufSize)
+	case len(c.fetchPipe) > c.fetchPipeCap:
+		return fmt.Errorf("cpu: core %d fetch pipe %d over capacity %d", c.id, len(c.fetchPipe), c.fetchPipeCap)
+	}
+	return nil
+}
 
 // Tick advances the core by one *global* clock cycle. Under frequency
 // scaling the pipeline steps only on a fraction of global cycles; skipped

@@ -1,0 +1,77 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"ptbsim/internal/isa"
+)
+
+// TestCheckOccupancyCleanUnderLoad runs a mixed ALU/load/store stream that
+// keeps the ROB, LSQ, store buffer and fetch pipe busy and asserts the
+// occupancy bounds hold on every single cycle, not just at quiescence.
+func TestCheckOccupancyCleanUnderLoad(t *testing.T) {
+	insts := make([]isa.Inst, 0, 3000)
+	for i := 0; len(insts) < 3000; i++ {
+		pc := uint64(0x1000 + len(insts)*4)
+		switch i % 4 {
+		case 0:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpLoad, Addr: uint64(0x9000 + i*8)})
+		case 1:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpStore, Addr: uint64(0x9000 + i*8)})
+		default:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpIntAlu, Dep1: 1})
+		}
+	}
+	r := newTestRig(insts)
+	for cyc := int64(1); cyc <= 100000; cyc++ {
+		r.q.RunUntil(cyc)
+		r.core.Tick()
+		if err := r.core.CheckOccupancy(); err != nil {
+			t.Fatalf("cycle %d: %v", cyc, err)
+		}
+		if r.core.Done() {
+			return
+		}
+	}
+	t.Fatal("core did not finish within 100000 cycles")
+}
+
+// TestCheckOccupancyDetectsCorruption forces each tracked counter out of
+// bounds in turn — both over-allocation and the negative counts a double
+// release would produce — and verifies CheckOccupancy names the structure.
+func TestCheckOccupancyDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(c *Core)
+		wantMsg string
+	}{
+		{"rob-over", func(c *Core) { c.count = c.cfg.ROBSize + 1 }, "ROB occupancy"},
+		{"rob-negative", func(c *Core) { c.count = -1 }, "ROB occupancy"},
+		{"lsq-over", func(c *Core) { c.lsqCount = c.cfg.LSQSize + 1 }, "LSQ occupancy"},
+		{"lsq-negative", func(c *Core) { c.lsqCount = -3 }, "LSQ occupancy"},
+		{"storebuf-over", func(c *Core) { c.storeBuf = c.cfg.StoreBufSize + 1 }, "store buffer"},
+		{"storebuf-negative", func(c *Core) { c.storeBuf = -1 }, "store buffer"},
+		{"fetchpipe-over", func(c *Core) {
+			c.fetchPipe = make([]fetchedInst, c.fetchPipeCap+1)
+		}, "fetch pipe"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := newTestRig(aluStream(8, 0))
+			r.runUntilDone(t, 1000)
+			if err := r.core.CheckOccupancy(); err != nil {
+				t.Fatalf("clean core violates: %v", err)
+			}
+			tc.corrupt(r.core)
+			err := r.core.CheckOccupancy()
+			if err == nil {
+				t.Fatal("occupancy corruption went undetected")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}

@@ -226,6 +226,26 @@ func (m *Mesh) Messages() int64 { return m.messages }
 // FlitHops returns the total number of flit-link traversals.
 func (m *Mesh) FlitHops() int64 { return m.flitHops }
 
+// CheckFlitConservation verifies that every flit-hop the mesh routed was
+// charged to the power meter exactly once on each side of the link: the
+// sum over tiles of EvNoCLink events (flits injected into links) and of
+// EvNoCRouter events (flits traversing the receiving router) must both
+// equal the mesh's own flit-hop counter. Counts are integers, so the
+// identity is exact; a mismatch means a message was routed without being
+// metered (or vice versa) and the NoC energy in the results is wrong.
+func (m *Mesh) CheckFlitConservation() error {
+	var links, routers int64
+	for i := 0; i < m.meter.NumCores(); i++ {
+		links += m.meter.Count(i, power.EvNoCLink)
+		routers += m.meter.Count(i, power.EvNoCRouter)
+	}
+	if links != m.flitHops || routers != m.flitHops {
+		return fmt.Errorf("mesh: flit conservation broken: %d flit-hops routed, %d link events, %d router events",
+			m.flitHops, links, routers)
+	}
+	return nil
+}
+
 // UncontendedLatency returns the delivery latency of a message of the given
 // flit count between two nodes on an idle mesh, for tests and documentation.
 func (m *Mesh) UncontendedLatency(a, b, flits int) int64 {

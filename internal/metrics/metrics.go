@@ -186,6 +186,25 @@ type RunResult struct {
 	// HitMaxCycles marks a run cut off by the safety cycle cap.
 	HitMaxCycles bool
 
+	// Token-flow ledger of the PTB balancer (zero for non-PTB techniques):
+	// picojoules donated into the balancer, granted back out, discarded at
+	// the budget clip, and the number of balancing rounds run.
+	TokenDonatedPJ   float64
+	TokenGrantedPJ   float64
+	TokenDiscardedPJ float64
+	BalanceRounds    int64
+
+	// Coherence traffic totals across all home directory banks.
+	CohGetS int64
+	CohGetX int64
+	CohPut  int64
+	CohFwd  int64
+	CohInv  int64
+
+	// NoC totals: messages injected and flit-link traversals.
+	NoCMessages int64
+	NoCFlits    int64
+
 	// ComponentJ breaks total energy down by structure group (frontend,
 	// execute, caches, noc, dram, power-mgmt, clock, leakage), in joules.
 	ComponentJ map[string]float64

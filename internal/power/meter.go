@@ -1,5 +1,11 @@
 package power
 
+import (
+	"fmt"
+
+	"ptbsim/internal/invariant"
+)
+
 // Meter accumulates ground-truth energy per core tile per cycle. Every
 // component posts events to the meter; at the end of each global cycle the
 // simulator calls EndCycle to obtain the per-core energies of that cycle and
@@ -113,6 +119,29 @@ func (m *Meter) KindPJ(core int, k EventKind) float64 { return m.byKind[core][k]
 
 // Count returns the number of events of kind k posted on core.
 func (m *Meter) Count(core int, k EventKind) int64 { return m.counts[core][k] }
+
+// CheckConsistency verifies the meter's energy-accounting identity: every
+// picojoule in a core's running total is attributed to exactly one event
+// kind, so the per-kind ledger must sum back to the total (within float
+// accumulation tolerance — both sides add the same event energies, but in
+// different orders). The invariant layer evaluates this every epoch; a
+// mismatch means some component bypassed Add or a ledger was corrupted.
+func (m *Meter) CheckConsistency() error {
+	for i := 0; i < m.nCores; i++ {
+		var kindSum float64
+		for k := 0; k < NumEventKinds; k++ {
+			kindSum += m.byKind[i][k]
+		}
+		// cycleEnergy holds the current cycle's not-yet-folded events; the
+		// identity covers totalEnergy + the in-progress cycle.
+		total := m.totalEnergy[i] + m.cycleEnergy[i]
+		if !invariant.CloseTo(kindSum, total) {
+			return fmt.Errorf("power: core %d energy ledger mismatch: Σ per-kind %.6f pJ != total %.6f pJ",
+				i, kindSum, total)
+		}
+	}
+	return nil
+}
 
 // PeakCoreCyclePJ returns the worst-case single-cycle energy of one core
 // tile at nominal voltage, used to define the chip's peak power and hence

@@ -1,0 +1,61 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckConsistencyClean exercises the ledger identity across Add and
+// EndCycle: the per-kind breakdown must always equal the running total plus
+// the in-progress cycle energy.
+func TestCheckConsistencyClean(t *testing.T) {
+	m := NewMeter(2)
+	per := make([]float64, 2)
+	for cycle := 0; cycle < 50; cycle++ {
+		m.Add(0, EvFetch, 3)
+		m.Add(1, EvL1DRead, 1)
+		m.Add(1, EvLeakage, 1)
+		if cycle%3 == 0 {
+			m.Add(0, EvFUFPMul, 2)
+		}
+		// Mid-cycle (before EndCycle) the identity must already hold.
+		if err := m.CheckConsistency(); err != nil {
+			t.Fatalf("cycle %d mid-cycle: %v", cycle, err)
+		}
+		m.EndCycle(per)
+		if err := m.CheckConsistency(); err != nil {
+			t.Fatalf("cycle %d after EndCycle: %v", cycle, err)
+		}
+	}
+}
+
+// TestCheckConsistencyDetectsSkew corrupts each side of the ledger and
+// verifies the identity check reports the mismatch.
+func TestCheckConsistencyDetectsSkew(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(m *Meter)
+	}{
+		{"total-inflated", func(m *Meter) { m.totalEnergy[0] += 7 }},
+		{"kind-lost", func(m *Meter) { m.byKind[1][EvFetch] -= 3 }},
+		{"cycle-skewed", func(m *Meter) { m.cycleEnergy[0] += 2 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMeter(2)
+			per := make([]float64, 2)
+			m.Add(0, EvFetch, 4)
+			m.Add(1, EvFetch, 4)
+			m.EndCycle(per)
+			tc.corrupt(m)
+			err := m.CheckConsistency()
+			if err == nil {
+				t.Fatal("ledger skew went undetected")
+			}
+			if !strings.Contains(err.Error(), "energy ledger mismatch") {
+				t.Fatalf("unexpected error text: %q", err)
+			}
+		})
+	}
+}

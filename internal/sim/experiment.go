@@ -38,6 +38,11 @@ type Runner struct {
 	Scale float64
 	// MaxCycles caps each run.
 	MaxCycles int64
+	// CheckInvariants enables the runtime invariant layer on every run this
+	// runner executes; a violation fails the run with an error wrapping
+	// invariant.ErrViolated. Set before the first run — results are cached
+	// per configuration, and the flag is not part of the cache key.
+	CheckInvariants bool
 	// Progress, when non-nil, receives one line per fresh (uncached) run.
 	Progress io.Writer
 
@@ -119,6 +124,7 @@ func (r *Runner) simulate(ctx context.Context, bench string, cores int, tech Tec
 		RelaxFrac:     relax,
 		WorkloadScale: r.Scale,
 		MaxCycles:     r.MaxCycles,
+		Invariants:    r.CheckInvariants,
 	})
 }
 

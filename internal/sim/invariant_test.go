@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"ptbsim/internal/core"
+	"ptbsim/internal/invariant"
+	"ptbsim/internal/workload"
+)
+
+func spec(t *testing.T, name string) *workload.Spec {
+	t.Helper()
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return s
+}
+
+// TestInvariantsCleanAcrossTechniques runs every technique (plus the
+// clustered PTB variant) with the invariant layer on and demands a
+// zero-violation run with a meaningful number of evaluations.
+func TestInvariantsCleanAcrossTechniques(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"none", Config{Technique: TechNone}},
+		{"dvfs", Config{Technique: TechDVFS}},
+		{"dfs", Config{Technique: TechDFS}},
+		{"2level", Config{Technique: Tech2Level}},
+		{"maxbips", Config{Technique: TechMaxBIPS}},
+		{"ptb-dynamic", Config{Technique: TechPTB, Policy: core.PolicyDynamic}},
+		{"ptb-toone", Config{Technique: TechPTB, Policy: core.PolicyToOne}},
+		{"ptbgate", Config{Technique: TechPTBSpinGate}},
+		{"ptb-clustered", Config{Technique: TechPTB, Cores: 8, PTBClusterSize: 4}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Benchmark = spec(t, "ocean")
+			cfg.WorkloadScale = 0.05
+			cfg.Invariants = true
+			s, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.RunContext(context.Background()); err != nil {
+				t.Fatalf("invariant violation: %v", err)
+			}
+			if evals := s.Invariants().Evals(); evals < 10 {
+				t.Fatalf("only %d invariant evaluations ran; the layer is not wired in", evals)
+			}
+		})
+	}
+}
+
+// TestInvariantViolationWrapsSentinel forces a violation (an epoch check
+// that always fails) and verifies the run error wraps invariant.ErrViolated
+// so public callers can branch with errors.Is.
+func TestInvariantViolationWrapsSentinel(t *testing.T) {
+	cfg := Config{Benchmark: spec(t, "fft"), WorkloadScale: 0.02, Invariants: true}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Invariants().Register("always-broken", func() error {
+		return errors.New("synthetic failure")
+	})
+	_, err = s.RunContext(context.Background())
+	if err == nil {
+		t.Fatal("violating run returned nil error")
+	}
+	if !errors.Is(err, invariant.ErrViolated) {
+		t.Fatalf("error %v does not wrap invariant.ErrViolated", err)
+	}
+	var verr *invariant.ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error %v does not expose *invariant.ViolationError", err)
+	}
+	if len(verr.Violations) == 0 {
+		t.Fatal("ViolationError carries no violations")
+	}
+}
+
+// TestInvariantsDisabledByDefault checks the zero-cost-off contract: no
+// checker is built unless Config.Invariants is set.
+func TestInvariantsDisabledByDefault(t *testing.T) {
+	s, err := NewSystem(Config{Benchmark: spec(t, "fft"), WorkloadScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Invariants() != nil {
+		t.Fatal("checker built without Config.Invariants")
+	}
+	if _, err := s.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPTBUnboundedBudgetEquivalence is the differential law behind PTB:
+// with the budget lifted far above peak the chip is never over budget, so
+// the balancer never collects, the governor never leaves its fastest mode
+// and the clipper never engages — PTB must reproduce the baseline timing
+// exactly (same cycles, same committed instructions), differing only by
+// the power-management energy of the idle PTB machinery.
+func TestPTBUnboundedBudgetEquivalence(t *testing.T) {
+	run := func(tech Technique) *System {
+		s, err := NewSystem(Config{
+			Benchmark:     spec(t, "ocean"),
+			Technique:     tech,
+			Policy:        core.PolicyDynamic,
+			BudgetFrac:    8, // far above structural peak: never over budget
+			WorkloadScale: 0.05,
+			Invariants:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base, err := run(TechNone).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptbSys := run(TechPTB)
+	ptb, err := ptbSys.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != ptb.Cycles {
+		t.Errorf("cycles diverge at unbounded budget: none=%d ptb=%d", base.Cycles, ptb.Cycles)
+	}
+	if base.Committed != ptb.Committed {
+		t.Errorf("committed diverge at unbounded budget: none=%d ptb=%d", base.Committed, ptb.Committed)
+	}
+	if ptb.TokenDonatedPJ != 0 || ptb.TokenGrantedPJ != 0 {
+		t.Errorf("balancer moved tokens (%.3f donated, %.3f granted) with nothing over budget",
+			ptb.TokenDonatedPJ, ptb.TokenGrantedPJ)
+	}
+	// Per-component energy matches except the power-management group, which
+	// carries PTB's own (idle) machinery.
+	for comp, baseJ := range base.ComponentJ {
+		if comp == "power-mgmt" {
+			continue
+		}
+		ptbJ := ptb.ComponentJ[comp]
+		if diff := math.Abs(ptbJ - baseJ); diff > 1e-12+1e-9*math.Abs(baseJ) {
+			t.Errorf("component %q energy diverges: none=%g ptb=%g", comp, baseJ, ptbJ)
+		}
+	}
+}
+
+// TestEnergyMonotoneInScale checks the metamorphic law that more work costs
+// more energy: scaling the workload up strictly increases both runtime and
+// total energy for the uncontrolled baseline.
+func TestEnergyMonotoneInScale(t *testing.T) {
+	scales := []float64{0.05, 0.1, 0.2}
+	var prevEnergy float64
+	var prevCycles int64
+	for i, sc := range scales {
+		s, err := NewSystem(Config{Benchmark: spec(t, "radix"), WorkloadScale: sc, Invariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if res.EnergyJ <= prevEnergy {
+				t.Errorf("energy not monotone in scale: %.3g J at %.2f <= %.3g J at %.2f",
+					res.EnergyJ, sc, prevEnergy, scales[i-1])
+			}
+			if res.Cycles <= prevCycles {
+				t.Errorf("cycles not monotone in scale: %d at %.2f <= %d at %.2f",
+					res.Cycles, sc, prevCycles, scales[i-1])
+			}
+		}
+		prevEnergy, prevCycles = res.EnergyJ, res.Cycles
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ptbsim/internal/core"
 	"ptbsim/internal/cpu"
 	"ptbsim/internal/eventq"
+	"ptbsim/internal/invariant"
 	"ptbsim/internal/isa"
 	"ptbsim/internal/mesh"
 	"ptbsim/internal/metrics"
@@ -80,6 +81,15 @@ type Config struct {
 	// scalability scheme for >32-core CMPs).
 	PTBClusterSize int
 
+	// Invariants enables the runtime invariant layer: conservation-law and
+	// consistency checks evaluated every InvariantEpoch cycles and once more
+	// at run end. A violation fails the run with an error wrapping
+	// invariant.ErrViolated. Disabled runs pay one nil check per cycle.
+	Invariants bool
+	// InvariantEpoch overrides the check cadence (default
+	// invariant.DefaultEpoch).
+	InvariantEpoch int64
+
 	// CPU and Cache allow overriding Table-1 defaults (including the PTHT
 	// size via CPU.PTHTSize).
 	CPU   cpu.Config
@@ -124,6 +134,7 @@ type System struct {
 	q     *eventq.Queue
 	meter *power.Meter
 	hier  *cache.Hierarchy
+	net   *mesh.Mesh
 	sync  *syncprim.Table
 	cores []*cpu.Core
 	gens  []*workload.Generator
@@ -132,6 +143,7 @@ type System struct {
 	bal   *core.Balancer // non-nil for TechPTB
 	col   *metrics.Collector
 	therm *thermal.Model
+	inv   *invariant.Checker // nil unless Config.Invariants
 
 	perCore   []float64
 	classes   []isa.SyncClass
@@ -157,8 +169,8 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{cfg: cfg, q: &eventq.Queue{}}
 	n := cfg.Cores
 	s.meter = power.NewMeter(n)
-	net := mesh.New(n, s.q, s.meter)
-	s.hier = cache.NewHierarchy(n, s.q, s.meter, net, cfg.Cache)
+	s.net = mesh.New(n, s.q, s.meter)
+	s.hier = cache.NewHierarchy(n, s.q, s.meter, s.net, cfg.Cache)
 	s.sync = syncprim.NewTable(n, spec.NumLocks, 1)
 
 	tm := power.NewTokenModel()
@@ -232,7 +244,82 @@ func NewSystem(cfg Config) (*System, error) {
 	s.therm = thermal.New(n, metrics.CycleSeconds)
 	s.perCore = make([]float64, n)
 	s.classes = make([]isa.SyncClass, n)
+	if cfg.Invariants {
+		s.inv = invariant.New(cfg.InvariantEpoch)
+		s.registerInvariants()
+	}
 	return s, nil
+}
+
+// registerInvariants wires the component self-checks into the checker.
+// Registration order is evaluation order; the final-only checks come last
+// because draining the event queue for the quiescent MOESI cross-check
+// delivers in-flight messages, which charge the power meter energy the
+// collector never saw — so the energy identity must be verified first.
+func (s *System) registerInvariants() {
+	s.inv.Register("cpu-occupancy", func() error {
+		for _, c := range s.cores {
+			if err := c.CheckOccupancy(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	s.inv.Register("power-ledger", s.meter.CheckConsistency)
+	s.inv.Register("noc-flit-conservation", s.net.CheckFlitConservation)
+	s.inv.Register("budget-state", func() error {
+		// The structural (non-derated) peak scales the estimate sanity
+		// bound; the rated TDP (s.peakPJ) sits below it by
+		// SustainedPeakFrac and is transiently overshot by design.
+		return budget.CheckState(s.st, s.peakPJ/power.SustainedPeakFrac)
+	})
+	if s.bal != nil {
+		s.inv.Register("ptb-token-conservation", s.bal.CheckConservation)
+	} else if cb, ok := s.ctl.(*core.ClusteredBalancer); ok {
+		s.inv.Register("ptb-token-conservation", cb.CheckConservation)
+	}
+	s.inv.Register("dir-structure", s.hier.CheckDirectoryEntries)
+
+	s.inv.RegisterFinal("energy-identity", func() error {
+		var meterPJ float64
+		for i := 0; i < s.cfg.Cores; i++ {
+			for k := 0; k < power.NumEventKinds; k++ {
+				meterPJ += s.meter.KindPJ(i, power.EventKind(k))
+			}
+		}
+		colPJ := s.col.EnergyJ() / metrics.PJToJ
+		// The collector sums per-cycle chip totals, the meter per-event kind
+		// ledgers — two independent accumulation orders over ~1e8 additions,
+		// so the tolerance is looser than invariant.CloseTo.
+		diff := meterPJ - colPJ
+		if diff < 0 {
+			diff = -diff
+		}
+		m := meterPJ
+		if colPJ > m {
+			m = colPJ
+		}
+		if diff > 1e-7*m+1e-6 {
+			return fmt.Errorf("sim: energy identity broken: collector %.3f pJ != meter %.3f pJ", colPJ, meterPJ)
+		}
+		return nil
+	})
+	s.inv.RegisterFinal("quiescent-moesi", func() error {
+		// The workload draining does not imply the uncore has: late
+		// writebacks and invalidation acks may still be in flight. Run the
+		// event queue forward (no core ticks) until it empties, then run the
+		// full MOESI cross-check, which is only sound at a quiescent point.
+		const drainCap = 4_000_000
+		now := s.cycle
+		for !s.q.Empty() && now < s.cycle+drainCap {
+			now += 1024
+			s.q.RunUntil(now)
+		}
+		if !s.q.Empty() {
+			return fmt.Errorf("sim: event queue failed to quiesce within %d cycles of run end", drainCap)
+		}
+		return s.hier.CheckInvariants()
+	})
 }
 
 // GlobalBudgetPJ returns the per-cycle budget in picojoules.
@@ -249,6 +336,10 @@ func (s *System) Balancer() *core.Balancer { return s.bal }
 
 // Sync exposes the synchronization table.
 func (s *System) Sync() *syncprim.Table { return s.sync }
+
+// Invariants returns the invariant checker, or nil when Config.Invariants
+// is off.
+func (s *System) Invariants() *invariant.Checker { return s.inv }
 
 // CoreTrace returns the per-cycle power samples of Config.TraceCore.
 func (s *System) CoreTrace() []float64 { return s.coreTrace }
@@ -291,6 +382,7 @@ func (s *System) Step() {
 	if s.cfg.TraceCore >= 0 && s.cfg.TraceEvery > 0 && s.cycle%s.cfg.TraceEvery == 0 {
 		s.coreTrace = append(s.coreTrace, s.perCore[s.cfg.TraceCore])
 	}
+	s.inv.Tick(s.cycle)
 }
 
 // cancelCheckCycles is how often the cycle loop polls the context: every
@@ -335,6 +427,11 @@ func (s *System) RunContext(ctx context.Context) (*metrics.RunResult, error) {
 			}
 		}
 	}
+	s.inv.Finalize(s.cycle)
+	if err := s.inv.Err(); err != nil {
+		return nil, fmt.Errorf("sim: %s/%d/%s: %w",
+			s.cfg.Benchmark.Name, s.cfg.Cores, s.cfg.Technique, err)
+	}
 	return s.result(), nil
 }
 
@@ -367,6 +464,28 @@ func (s *System) result() *metrics.RunResult {
 			comp[kind.Component()] += s.meter.KindPJ(i, kind) * metrics.PJToJ
 		}
 	}
+	var donated, granted, discarded float64
+	var rounds int64
+	if s.bal != nil {
+		donated, granted, discarded, rounds = s.bal.Stats()
+	} else if cb, ok := s.ctl.(*core.ClusteredBalancer); ok {
+		for _, g := range cb.Groups() {
+			d, gr, di, r := g.Stats()
+			donated += d
+			granted += gr
+			discarded += di
+			rounds += r
+		}
+	}
+	var getS, getX, puts, fwds, invs int64
+	for _, bank := range s.hier.Banks {
+		gs, gx, p, f, iv, _, _ := bank.Stats()
+		getS += gs
+		getX += gx
+		puts += p
+		fwds += f
+		invs += iv
+	}
 	return &metrics.RunResult{
 		Benchmark:      s.cfg.Benchmark.Name,
 		Cores:          s.cfg.Cores,
@@ -385,6 +504,18 @@ func (s *System) result() *metrics.RunResult {
 		StdTempC:       s.therm.StdTempC(),
 		HitMaxCycles:   s.hitMax,
 		ComponentJ:     comp,
+
+		TokenDonatedPJ:   donated,
+		TokenGrantedPJ:   granted,
+		TokenDiscardedPJ: discarded,
+		BalanceRounds:    rounds,
+		CohGetS:          getS,
+		CohGetX:          getX,
+		CohPut:           puts,
+		CohFwd:           fwds,
+		CohInv:           invs,
+		NoCMessages:      s.net.Messages(),
+		NoCFlits:         s.net.FlitHops(),
 	}
 }
 

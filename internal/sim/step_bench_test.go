@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+
+	"ptbsim/internal/workload"
+)
+
+// benchSteps measures the per-cycle cost of System.Step on a live 4-core
+// ocean run. The two variants differ only in cfg.Invariants, so comparing
+// their ns/op isolates what the invariant layer costs when disabled (one
+// nil check per cycle — the <2% claim in DESIGN.md §8) and when enabled
+// (epoch-gated sweeps). cmd/ptbbench compares both against
+// BENCH_baseline.json.
+func benchSteps(b *testing.B, check bool) {
+	spec, ok := workload.ByName("ocean")
+	if !ok {
+		b.Fatal("ocean missing from catalog")
+	}
+	cfg := Config{
+		Benchmark:     spec,
+		Cores:         4,
+		Technique:     TechNone,
+		WorkloadScale: 1.0,
+		Invariants:    check,
+	}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.RunCycles(1) {
+			// Workload drained; restart on a fresh system off the clock.
+			b.StopTimer()
+			if s, err = NewSystem(cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkSimStep(b *testing.B)           { benchSteps(b, false) }
+func BenchmarkSimStepInvariants(b *testing.B) { benchSteps(b, true) }

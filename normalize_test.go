@@ -1,0 +1,124 @@
+package ptbsim
+
+import (
+	"math"
+	"testing"
+
+	"ptbsim/internal/metrics"
+)
+
+// normCase is one (run, base) pair with the expected paper metrics. The
+// expectations are hand-computed from the formulas in §IV (normalized
+// energy/AoPB against the uncontrolled base, slowdown in percent).
+type normCase struct {
+	name                 string
+	run, base            Result
+	wantEnergy, wantAoPB float64
+	wantSlow             float64
+}
+
+func normCases() []normCase {
+	return []normCase{
+		{
+			name:       "savings-and-slowdown",
+			run:        Result{EnergyJ: 0.8, AoPBJ: 0.02, Cycles: 1_100_000},
+			base:       Result{EnergyJ: 1.0, AoPBJ: 0.10, Cycles: 1_000_000},
+			wantEnergy: -20, wantAoPB: 20, wantSlow: 10,
+		},
+		{
+			name:       "identical-runs",
+			run:        Result{EnergyJ: 0.5, AoPBJ: 0.04, Cycles: 2_000_000},
+			base:       Result{EnergyJ: 0.5, AoPBJ: 0.04, Cycles: 2_000_000},
+			wantEnergy: 0, wantAoPB: 100, wantSlow: 0,
+		},
+		{
+			name:       "costs-energy-runs-faster",
+			run:        Result{EnergyJ: 1.5, AoPBJ: 0, Cycles: 750_000},
+			base:       Result{EnergyJ: 1.0, AoPBJ: 0.08, Cycles: 1_000_000},
+			wantEnergy: 50, wantAoPB: 0, wantSlow: -25,
+		},
+		{
+			// Degenerate bases must not divide by zero: the helpers
+			// define 0 (energy/slowdown) and 0 (AoPB) for them.
+			name:       "zero-base",
+			run:        Result{EnergyJ: 0.3, AoPBJ: 0.01, Cycles: 500_000},
+			base:       Result{},
+			wantEnergy: 0, wantAoPB: 0, wantSlow: 0,
+		},
+		{
+			name:       "perfect-budget-match",
+			run:        Result{EnergyJ: 0.95, AoPBJ: 0, Cycles: 1_030_000},
+			base:       Result{EnergyJ: 1.0, AoPBJ: 0.25, Cycles: 1_000_000},
+			wantEnergy: -5, wantAoPB: 0, wantSlow: 3,
+		},
+	}
+}
+
+// TestNormalizationHelpers checks the public helpers against hand-computed
+// expectations.
+func TestNormalizationHelpers(t *testing.T) {
+	for _, tc := range normCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			check := func(metric string, got, want float64) {
+				t.Helper()
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s = %g, want %g", metric, got, want)
+				}
+			}
+			check("NormalizedEnergyPct", NormalizedEnergyPct(&tc.run, &tc.base), tc.wantEnergy)
+			check("NormalizedAoPBPct", NormalizedAoPBPct(&tc.run, &tc.base), tc.wantAoPB)
+			check("SlowdownPct", SlowdownPct(&tc.run, &tc.base), tc.wantSlow)
+		})
+	}
+}
+
+// TestNormalizationMatchesInternalRoundTrip cross-checks the direct Result
+// helpers against the pre-PR-1 path: convert each Result to the internal
+// metrics.RunResult fixture and run the internal/metrics formulas. Any
+// drift between the two implementations (e.g. one picking up a new term)
+// fails here.
+func TestNormalizationMatchesInternalRoundTrip(t *testing.T) {
+	toInternal := func(r *Result) *metrics.RunResult {
+		return &metrics.RunResult{
+			EnergyJ: r.EnergyJ,
+			AoPBJ:   r.AoPBJ,
+			Cycles:  r.Cycles,
+		}
+	}
+	for _, tc := range normCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ir, ib := toInternal(&tc.run), toInternal(&tc.base)
+			pairs := []struct {
+				metric   string
+				got, old float64
+			}{
+				{"NormalizedEnergyPct", NormalizedEnergyPct(&tc.run, &tc.base), metrics.NormalizedEnergyPct(ir, ib)},
+				{"NormalizedAoPBPct", NormalizedAoPBPct(&tc.run, &tc.base), metrics.NormalizedAoPBPct(ir, ib)},
+				{"SlowdownPct", SlowdownPct(&tc.run, &tc.base), metrics.SlowdownPct(ir, ib)},
+			}
+			for _, p := range pairs {
+				if p.got != p.old {
+					t.Errorf("%s: direct helper %g != internal round-trip %g", p.metric, p.got, p.old)
+				}
+			}
+		})
+	}
+}
+
+// TestEDPConsistency pins the EDP/ED²P definitions (3 GHz clock) and their
+// relationship: ED²P must equal EDP times the delay.
+func TestEDPConsistency(t *testing.T) {
+	r := Result{EnergyJ: 2.0, Cycles: 3_000_000_000} // exactly one second at 3 GHz
+	if got := r.EDP(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("EDP = %g, want 2.0 J·s", got)
+	}
+	if got := r.ED2P(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("ED2P = %g, want 2.0 J·s²", got)
+	}
+	delay := float64(r.Cycles) / 3e9
+	if got, want := r.ED2P(), r.EDP()*delay; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ED2P %g != EDP×delay %g", got, want)
+	}
+}

@@ -31,6 +31,15 @@
 // Sweep.
 package ptbsim
 
+// The committed regression artifacts are regenerated with `go generate .`
+// (or `make golden`): the golden per-run digest matrix that golden_test.go
+// diffs against, and the full paper-table sweep in results_sweep.txt.
+// Regenerate them only when an intentional modeling change shifts the
+// numbers, and review the diff like source.
+//
+//go:generate go run ./cmd/ptbgolden -q -o testdata/golden/matrix_scale025.txt
+//go:generate go run ./cmd/ptbsweep -exp all -scale 0.25 -q -o results_sweep.txt
+
 import (
 	"context"
 	"fmt"
@@ -122,6 +131,14 @@ type Config struct {
 	// cores instead of one chip-wide balancer (the paper's §III.E.2
 	// scalability scheme for large CMPs).
 	PTBClusterSize int
+	// CheckInvariants enables the runtime invariant layer: conservation-law
+	// and consistency checks (power-token conservation, energy-accounting
+	// identity, MOESI directory legality, queue occupancy bounds, NoC flit
+	// conservation, budget-state sanity) evaluated periodically during the
+	// run and once more at the end. A violation fails the run with an error
+	// wrapping ErrInvariantViolation. Disabled runs pay one nil comparison
+	// per simulated cycle.
+	CheckInvariants bool
 }
 
 func (c Config) internal() (sim.Config, error) {
@@ -139,6 +156,7 @@ func (c Config) internal() (sim.Config, error) {
 		WorkloadScale:  c.WorkloadScale,
 		MaxCycles:      c.MaxCycles,
 		PTBClusterSize: c.PTBClusterSize,
+		Invariants:     c.CheckInvariants,
 	}
 	if c.Technique == "" {
 		cfg.Technique = sim.TechNone
@@ -194,6 +212,29 @@ type Result struct {
 	// ComponentJ breaks total energy down by structure group (frontend,
 	// execute, caches, noc, dram, power-mgmt, clock, leakage), in joules.
 	ComponentJ map[string]float64
+
+	// TokenDonatedPJ/TokenGrantedPJ/TokenDiscardedPJ are the PTB balancer's
+	// token-flow ledger in picojoules (zero for non-PTB techniques), and
+	// BalanceRounds the number of balancing rounds run. Conservation —
+	// donated = granted + discarded once the run drains — is one of the
+	// checked invariants.
+	TokenDonatedPJ   float64
+	TokenGrantedPJ   float64
+	TokenDiscardedPJ float64
+	BalanceRounds    int64
+
+	// CohGetS/CohGetX/CohPut/CohFwd/CohInv count coherence transactions
+	// across all home directory banks.
+	CohGetS int64
+	CohGetX int64
+	CohPut  int64
+	CohFwd  int64
+	CohInv  int64
+
+	// NoCMessages and NoCFlits count mesh messages injected and flit-link
+	// traversals.
+	NoCMessages int64
+	NoCFlits    int64
 }
 
 func fromMetrics(r *metrics.RunResult) *Result {
@@ -218,6 +259,18 @@ func fromMetrics(r *metrics.RunResult) *Result {
 		StdTempC:       r.StdTempC,
 		HitMaxCycles:   r.HitMaxCycles,
 		ComponentJ:     r.ComponentJ,
+
+		TokenDonatedPJ:   r.TokenDonatedPJ,
+		TokenGrantedPJ:   r.TokenGrantedPJ,
+		TokenDiscardedPJ: r.TokenDiscardedPJ,
+		BalanceRounds:    r.BalanceRounds,
+		CohGetS:          r.CohGetS,
+		CohGetX:          r.CohGetX,
+		CohPut:           r.CohPut,
+		CohFwd:           r.CohFwd,
+		CohInv:           r.CohInv,
+		NoCMessages:      r.NoCMessages,
+		NoCFlits:         r.NoCFlits,
 	}
 }
 
