@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check golden bench bench-baseline bench-compare fuzz fmt vet
+.PHONY: all build test test-short race check chaos golden bench bench-baseline bench-compare fuzz fmt vet
 
 all: build test
 
@@ -25,6 +25,12 @@ race:
 # failing on any conservation/consistency violation or digest drift.
 check:
 	$(GO) test -count=1 -run 'TestGoldenMatrixDigests|TestInvariants' -v .  ./internal/sim/
+
+# Fault-rate sweep with the invariant layer on: the balancer's
+# energy-accounting error must grow monotonically with the token-drop
+# rate at every core count (PTB graceful degradation; DESIGN.md §9).
+chaos:
+	$(GO) run ./cmd/ptbchaos -scale 0.25 -check -assert-monotone
 
 # Regenerate the committed golden digests and the paper-table sweep
 # (testdata/golden/matrix_scale025.txt, results_sweep.txt). Review the
@@ -54,6 +60,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParseTechnique -fuzztime 30s .
 	$(GO) test -run xxx -fuzz FuzzParsePolicy -fuzztime 30s .
 	$(GO) test -run xxx -fuzz FuzzConfigValidate -fuzztime 30s .
+	$(GO) test -run xxx -fuzz FuzzParseFaultSpec -fuzztime 30s .
 
 fmt:
 	gofmt -l -w .

@@ -37,6 +37,7 @@ func main() {
 		cores   = flag.Int("cores", 4, "CMP size for the matrix")
 		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations (output is identical at any value)")
 		check   = flag.Bool("check", true, "enable runtime invariant checks on every run")
+		faults  = flag.String("faults", "", "fault-injection spec applied to every run (a zero-rate spec must reproduce the committed baseline byte-for-byte)")
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
 		outPath = flag.String("o", "", "output file (default stdout)")
 	)
@@ -66,6 +67,13 @@ func main() {
 	}
 	if *check {
 		opts = append(opts, ptbsim.WithInvariants())
+	}
+	if *faults != "" {
+		spec, err := ptbsim.ParseFaultSpec(*faults)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, ptbsim.WithFaults(spec))
 	}
 	if !*quiet {
 		opts = append(opts, ptbsim.WithProgress(func(p ptbsim.Progress) {

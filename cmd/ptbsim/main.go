@@ -35,6 +35,7 @@ func main() {
 		noBase  = flag.Bool("nobase", false, "skip the base-case run and normalization")
 		pessim  = flag.Bool("pessimistic", false, "use the 10-cycle PTB latency")
 		check   = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
+		faults  = flag.String("faults", "", "fault-injection spec, e.g. seed=42,drop=0.25,noise=0.02 (keys: seed, drop, delay, dup, delaycycles, stale, retries, backoff, stall, stallcycles, corrupt, noise, drift, glitch)")
 		listAll = flag.Bool("list", false, "list benchmarks and exit")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON")
 	)
@@ -71,6 +72,14 @@ func main() {
 		WorkloadScale:         *scale,
 		PessimisticPTBLatency: *pessim,
 		CheckInvariants:       *check,
+	}
+	if *faults != "" {
+		spec, err := ptbsim.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Faults = &spec
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -139,6 +148,14 @@ func printResult(r *ptbsim.Result) {
 			fmt.Printf(" %s %.0f%%", g, 100*r.ComponentJ[g]/r.EnergyJ)
 		}
 		fmt.Println()
+	}
+	if r.FaultsInjected > 0 || r.Degraded {
+		fmt.Printf("  faults injected   : %d (token lost %.0f pJ, retries %d, reports lost %d, stale-fallback %d cycles, noc stalls %d, retransmits %d, dvfs glitches %d)\n",
+			r.FaultsInjected, r.TokenLostPJ, r.TokenRetries, r.TokenReportsLost,
+			r.StaleFallbackCycles, r.NoCStallCycles, r.NoCRetransmits, r.DVFSGlitches)
+		if r.Degraded {
+			fmt.Println("  DEGRADED: balancer lost tokens or ran on the stale-share fallback")
+		}
 	}
 	if r.HitMaxCycles {
 		fmt.Println("  WARNING: run truncated by the cycle cap")

@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"ptbsim/internal/core"
+	"ptbsim/internal/fault"
 	"ptbsim/internal/sim"
 )
 
@@ -55,6 +56,7 @@ func main() {
 		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations (1 = serial; output is identical at any value)")
 		format  = flag.String("format", "text", "output format: text, md, csv")
 		check   = flag.Bool("check", false, "enable runtime invariant checks on every run (fails on any violation)")
+		faults  = flag.String("faults", "", "fault-injection spec applied to every run, e.g. seed=42,drop=0.25")
 		outPath = flag.String("o", "", "write output to this file instead of stdout (for go:generate)")
 	)
 	flag.Parse()
@@ -96,6 +98,14 @@ func main() {
 	r.Bind(ctx)
 	r.SetParallelism(*par)
 	r.CheckInvariants = *check
+	if *faults != "" {
+		spec, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		r.Faults = &spec
+	}
 	if !*quiet {
 		r.Progress = os.Stderr
 	}

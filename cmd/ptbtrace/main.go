@@ -25,13 +25,24 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "fig5", "trace: fig5 (chip power vs budget), fig6 (spinning core)")
-		scale = flag.Float64("scale", 0.15, "workload scale")
-		csv   = flag.Bool("csv", false, "emit CSV samples instead of an ASCII chart")
-		width = flag.Int("width", 100, "chart columns")
-		check = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
+		exp    = flag.String("exp", "fig5", "trace: fig5 (chip power vs budget), fig6 (spinning core)")
+		scale  = flag.Float64("scale", 0.15, "workload scale")
+		csv    = flag.Bool("csv", false, "emit CSV samples instead of an ASCII chart")
+		width  = flag.Int("width", 100, "chart columns")
+		check  = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
+		faults = flag.String("faults", "", "fault-injection spec, e.g. seed=42,noise=0.05")
 	)
 	flag.Parse()
+
+	var spec *ptbsim.FaultSpec
+	if *faults != "" {
+		s, err := ptbsim.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec = &s
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -48,6 +59,7 @@ func main() {
 			WorkloadScale:   *scale,
 			MaxCycles:       20_000_000,
 			CheckInvariants: *check,
+			Faults:          spec,
 		}, 50, -1)
 		if err != nil {
 			fail(err)
@@ -62,6 +74,7 @@ func main() {
 			WorkloadScale:   *scale,
 			MaxCycles:       20_000_000,
 			CheckInvariants: *check,
+			Faults:          spec,
 		}, 10, 2)
 		if err != nil {
 			fail(err)

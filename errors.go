@@ -6,9 +6,20 @@ import (
 	"math"
 	"strings"
 
+	"ptbsim/internal/fault"
 	"ptbsim/internal/invariant"
 	"ptbsim/internal/workload"
 )
+
+// ErrBadFaultSpec is the sentinel wrapped by every FaultSpec validation
+// and ParseFaultSpec error; branch with errors.Is.
+var ErrBadFaultSpec = fault.ErrBadSpec
+
+// ErrRunDeadline marks a run that exceeded the experiment's per-run
+// deadline (WithRunTimeout). Deadline misses are treated as transient:
+// the experiment retries them with exponential backoff up to WithRetries
+// before reporting the error.
+var ErrRunDeadline = errors.New("run exceeded per-run deadline")
 
 // ErrInvariantViolation is the sentinel wrapped by every error a
 // CheckInvariants-enabled run returns when a runtime invariant fails; branch
@@ -133,6 +144,11 @@ func (c Config) Validate() error {
 	}
 	if c.PTBClusterSize < 0 {
 		return fmt.Errorf("ptbsim: %w %d", ErrBadCluster, c.PTBClusterSize)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

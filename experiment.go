@@ -2,9 +2,11 @@ package ptbsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"ptbsim/internal/runner"
 	"ptbsim/internal/sim"
@@ -38,6 +40,10 @@ type Experiment struct {
 	maxCycles   int64
 	parallelism int
 	invariants  bool
+	faults      *FaultSpec
+	runTimeout  time.Duration
+	retries     int
+	backoff     time.Duration
 	progress    func(Progress)
 
 	eng *runner.Engine[*Result]
@@ -78,6 +84,39 @@ func WithInvariants() Option {
 	return func(e *Experiment) { e.invariants = true }
 }
 
+// WithFaults injects faults into every run the experiment executes whose
+// config leaves Faults nil (configs that set their own spec keep it).
+// The spec is part of the cache key, so faulted and ideal runs of the
+// same configuration never share a result.
+func WithFaults(spec FaultSpec) Option {
+	return func(e *Experiment) { e.faults = &spec }
+}
+
+// WithRunTimeout bounds the wall-clock time of each individual run. A run
+// exceeding the deadline fails with an error wrapping ErrRunDeadline —
+// treated as transient and retried when WithRetries is set. d <= 0 (the
+// default) disables the per-run deadline.
+func WithRunTimeout(d time.Duration) Option {
+	return func(e *Experiment) { e.runTimeout = d }
+}
+
+// WithRetries retries a run that failed transiently (per-run deadline
+// exceeded while the caller's context was still live) up to n more times,
+// sleeping an exponentially growing backoff between attempts (see
+// WithRetryBackoff). Deterministic failures — validation errors,
+// invariant violations, caller cancellation — are never retried. n <= 0
+// (the default) disables retrying.
+func WithRetries(n int) Option {
+	return func(e *Experiment) { e.retries = n }
+}
+
+// WithRetryBackoff sets the base sleep before the first retry (default
+// 50ms), doubling per attempt. The sleep aborts immediately if the
+// caller's context ends.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(e *Experiment) { e.backoff = d }
+}
+
 // WithProgress installs a streaming callback invoked once per finished
 // configuration. Callbacks are serialized, so fn needs no locking of its
 // own.
@@ -88,12 +127,15 @@ func WithProgress(fn func(Progress)) Option {
 // NewExperiment creates an experiment engine. Without options it runs
 // paper-sized workloads (scale 1.0) on runtime.NumCPU() workers.
 func NewExperiment(opts ...Option) *Experiment {
-	e := &Experiment{parallelism: runtime.NumCPU()}
+	e := &Experiment{parallelism: runtime.NumCPU(), backoff: 50 * time.Millisecond}
 	for _, o := range opts {
 		o(e)
 	}
 	if e.parallelism < 1 {
 		e.parallelism = runtime.NumCPU()
+	}
+	if e.backoff <= 0 {
+		e.backoff = 50 * time.Millisecond
 	}
 	e.eng = runner.New[*Result](e.parallelism)
 	return e
@@ -123,15 +165,56 @@ func (e *Experiment) normalize(cfg Config) Config {
 	if e.invariants {
 		cfg.CheckInvariants = true
 	}
+	if cfg.Faults == nil && e.faults != nil {
+		cfg.Faults = e.faults
+	}
 	return cfg
 }
 
 // key canonicalizes a normalized config into the engine cache key.
 func (e *Experiment) key(cfg Config) string {
-	return fmt.Sprintf("%s|%d|%s|%d|relax=%.4f|budget=%.4f|scale=%.4f|max=%d|pessim=%t|cluster=%d|check=%t",
+	faults := "-"
+	if cfg.Faults != nil {
+		faults = cfg.Faults.String()
+	}
+	return fmt.Sprintf("%s|%d|%s|%d|relax=%.4f|budget=%.4f|scale=%.4f|max=%d|pessim=%t|cluster=%d|check=%t|faults=%s",
 		cfg.Benchmark, cfg.Cores, cfg.Technique, int(cfg.Policy),
 		cfg.RelaxFrac, cfg.BudgetFrac, cfg.WorkloadScale, cfg.MaxCycles,
-		cfg.PessimisticPTBLatency, cfg.PTBClusterSize, cfg.CheckInvariants)
+		cfg.PessimisticPTBLatency, cfg.PTBClusterSize, cfg.CheckInvariants, faults)
+}
+
+// execute runs one validated configuration, applying the experiment's
+// per-run deadline and transient-failure retry policy. Only deadline
+// misses are transient: an attempt whose run context expired while the
+// caller's context stayed live is retried after an exponentially growing
+// backoff, up to the configured retry budget.
+func (e *Experiment) execute(ctx context.Context, cfg Config) (*Result, error) {
+	backoff := e.backoff
+	for attempt := 0; ; attempt++ {
+		runCtx, cancel := ctx, context.CancelFunc(func() {})
+		if e.runTimeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, e.runTimeout)
+		}
+		res, err := RunContext(runCtx, cfg)
+		timedOut := errors.Is(runCtx.Err(), context.DeadlineExceeded)
+		cancel()
+		if err == nil {
+			return res, nil
+		}
+		if !timedOut || ctx.Err() != nil {
+			return nil, err // deterministic failure or caller cancellation
+		}
+		err = fmt.Errorf("ptbsim: %w (%s): %v", ErrRunDeadline, e.runTimeout, err)
+		if attempt >= e.retries {
+			return nil, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		backoff *= 2
+	}
 }
 
 // emit delivers one progress event; the lock serializes concurrent
@@ -154,7 +237,7 @@ func (e *Experiment) Run(ctx context.Context, cfg Config) (*Result, error) {
 	fresh := false
 	res, err := e.eng.Do(ctx, e.key(cfg), func(ctx context.Context) (*Result, error) {
 		fresh = true
-		return RunContext(ctx, cfg)
+		return e.execute(ctx, cfg)
 	})
 	e.emit(Progress{Config: cfg, Result: res, Err: err, Cached: err == nil && !fresh, Done: 1, Total: 1})
 	if err != nil {
@@ -173,37 +256,109 @@ func (e *Experiment) Base(ctx context.Context, cfg Config) (*Result, error) {
 	return e.Run(ctx, cfg)
 }
 
+// ConfigError records the failure of one configuration in a sweep.
+type ConfigError struct {
+	// Index is the position of the failing configuration in the input
+	// slice (RunAll) or the expanded cross-product (RunSweep).
+	Index int
+	// Config is the failing configuration, with the experiment defaults
+	// applied.
+	Config Config
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("config %d (%s/%d/%s): %v",
+		e.Index, e.Config.Benchmark, e.Config.Cores, e.Config.Technique, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/errors.As.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every per-configuration failure of a partial
+// sweep. It unwraps to all of them, so errors.Is(err, context.Canceled)
+// or errors.Is(err, ErrInvariantViolation) answer "did any config fail
+// that way", and errors.As(err, &configErr) recovers the first failure's
+// detail.
+type SweepError struct {
+	// Total is the number of configurations attempted.
+	Total int
+	// Failures lists each failed configuration in input order.
+	Failures []*ConfigError
+}
+
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("ptbsim: %d of %d sweep configs failed; first: %v",
+		len(e.Failures), e.Total, e.Failures[0])
+}
+
+// Unwrap exposes every failure to errors.Is/errors.As.
+func (e *SweepError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
 // RunAll executes every configuration on the worker pool and returns the
 // results in input order. Duplicate configurations coalesce onto one
-// simulation (both slots get the shared result). The first error cancels
-// the remaining runs and is returned with the partial results (failed or
-// skipped slots are nil); on cancellation the error wraps ctx.Err().
+// simulation (both slots get the shared result).
+//
+// Sweeps are partial-result: one configuration failing — validation,
+// invariant violation, deadline past the retry budget — does not stop the
+// others, and every completable slot holds its result on return. Failed
+// slots are nil, and the error is a *SweepError listing each failure with
+// its index and configuration; it unwraps to all of them, so errors.Is
+// still answers "did anything fail that way". Only the caller's context
+// ends a sweep early (undispatched slots then fail with ctx.Err(), and
+// the returned error wraps it).
 func (e *Experiment) RunAll(ctx context.Context, cfgs []Config) ([]*Result, error) {
-	jobs := make([]runner.Job[*Result], len(cfgs))
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
 	normed := make([]Config, len(cfgs))
 	fresh := make([]bool, len(cfgs))
+	var jobs []runner.Job[*Result]
+	var jobIdx []int // job slot → cfgs index (invalid configs get no job)
 	for i, cfg := range cfgs {
 		cfg = e.normalize(cfg)
-		if err := cfg.Validate(); err != nil {
-			return make([]*Result, len(cfgs)), fmt.Errorf("config %d: %w", i, err)
-		}
 		normed[i] = cfg
-		i := i
-		jobs[i] = runner.Job[*Result]{
+		if err := cfg.Validate(); err != nil {
+			errs[i] = err
+			continue
+		}
+		i, cfg := i, cfg
+		jobs = append(jobs, runner.Job[*Result]{
 			Key: e.key(cfg),
 			Run: func(ctx context.Context) (*Result, error) {
 				fresh[i] = true
-				return RunContext(ctx, cfg)
+				return e.execute(ctx, cfg)
 			},
-		}
+		})
+		jobIdx = append(jobIdx, i)
 	}
-	total := len(jobs)
+	total := len(cfgs)
 	e.mu.Lock()
 	e.done = 0
 	e.mu.Unlock()
-	return e.eng.ForEach(ctx, jobs, func(i int, res *Result, err error) {
+	// Invalid configurations are reported up front, before any simulation
+	// runs; they occupy their slot in the Done/Total ramp like any other.
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		e.mu.Lock()
+		e.done++
+		if e.progress != nil {
+			e.progress(Progress{Config: normed[i], Err: err, Done: e.done, Total: total})
+		}
+		e.mu.Unlock()
+	}
+	vals, jobErrs := e.eng.ForEachAll(ctx, jobs, func(j int, res *Result, err error) {
+		i := jobIdx[j]
 		if err != nil && ctx.Err() != nil {
-			return // one cancellation, reported by the returned error
+			return // cancellation noise; reported by the returned error
 		}
 		e.mu.Lock()
 		e.done++
@@ -213,6 +368,19 @@ func (e *Experiment) RunAll(ctx context.Context, cfgs []Config) ([]*Result, erro
 		}
 		e.mu.Unlock()
 	})
+	for j, i := range jobIdx {
+		results[i], errs[i] = vals[j], jobErrs[j]
+	}
+	var failures []*ConfigError
+	for i, err := range errs {
+		if err != nil {
+			failures = append(failures, &ConfigError{Index: i, Config: normed[i], Err: err})
+		}
+	}
+	if len(failures) == 0 {
+		return results, nil
+	}
+	return results, &SweepError{Total: total, Failures: failures}
 }
 
 // A Sweep declares a cross-product of configurations — the shape of the
@@ -308,7 +476,7 @@ func (s Sweep) Configs() []Config {
 }
 
 // RunSweep expands the sweep and executes it on the worker pool; see
-// RunAll for ordering, error and cancellation semantics.
+// RunAll for ordering, partial-result, error and cancellation semantics.
 func (e *Experiment) RunSweep(ctx context.Context, s Sweep) ([]*Result, error) {
 	return e.RunAll(ctx, s.Configs())
 }

@@ -73,6 +73,49 @@ func FuzzParsePolicy(f *testing.F) {
 	})
 }
 
+// FuzzParseFaultSpec checks the fault-spec parser never panics, that every
+// accepted input yields a spec that validates and whose canonical String()
+// reparses to the identical spec, and that every rejection wraps
+// ErrBadFaultSpec so CLI tools can always errors.Is-dispatch.
+func FuzzParseFaultSpec(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42,drop=0.25")
+	f.Add("drop=1")
+	f.Add("noise=0.05,drift=0.02,glitch=0.1")
+	f.Add("stale=-1,retries=-1,delaycycles=-1,stallcycles=-1")
+	f.Add("seed=0x10,backoff=16")
+	f.Add(" drop = 0.1 , stall = 0.05 ")
+	f.Add("drop=2")
+	f.Add("bogus=1")
+	f.Add("drop=0.1,drop=0.2")
+	f.Add("drop")
+	f.Add("drop=nan")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseFaultSpec(in)
+		if err != nil {
+			if !errors.Is(err, ErrBadFaultSpec) {
+				t.Fatalf("ParseFaultSpec(%q) error %v does not wrap ErrBadFaultSpec", in, err)
+			}
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseFaultSpec(%q) accepted a spec Validate rejects: %v", in, verr)
+		}
+		canon := s.String()
+		again, err2 := ParseFaultSpec(canon)
+		if err2 != nil {
+			t.Fatalf("ParseFaultSpec(%q) = %+v but canonical %q does not reparse: %v", in, s, canon, err2)
+		}
+		if again != s {
+			t.Fatalf("ParseFaultSpec(%q): canonical %q reparses to a different spec:\n in  %+v\n out %+v",
+				in, canon, s, again)
+		}
+		if again.String() != canon {
+			t.Fatalf("String() not canonical: %q then %q", canon, again.String())
+		}
+	})
+}
+
 // FuzzConfigValidate checks that Validate never panics on arbitrary field
 // combinations, that every rejection wraps one of the exported sentinels
 // (so callers can always errors.Is-dispatch), and that every accepted

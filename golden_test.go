@@ -34,17 +34,11 @@ func goldenMatrixSweep(t *testing.T) ptbsim.Sweep {
 	}
 }
 
-// TestGoldenMatrixDigests reruns the full golden matrix — with the runtime
-// invariant layer enabled and 8-way sweep parallelism — and compares every
-// digest byte-for-byte against testdata/golden/matrix_scale025.txt. It is
-// the whole-simulator regression gate: any behavioral change anywhere in
-// the pipeline, caches, NoC, power model or controllers moves at least one
-// digest. Regenerate intentionally changed baselines with `go generate
-// ./...` (or `make golden`).
-func TestGoldenMatrixDigests(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full matrix (98 runs) skipped in -short")
-	}
+// readGoldenMatrix loads the committed digest lines from
+// testdata/golden/matrix_scale025.txt, skipping comments and blanks. Shared
+// by the golden regression gate and the zero-rate fault identity test.
+func readGoldenMatrix(t *testing.T) []string {
+	t.Helper()
 	raw, err := os.ReadFile("testdata/golden/matrix_scale025.txt")
 	if err != nil {
 		t.Fatalf("reading golden file (regenerate with `go generate ./...`): %v", err)
@@ -61,6 +55,21 @@ func TestGoldenMatrixDigests(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
+	return want
+}
+
+// TestGoldenMatrixDigests reruns the full golden matrix — with the runtime
+// invariant layer enabled and 8-way sweep parallelism — and compares every
+// digest byte-for-byte against testdata/golden/matrix_scale025.txt. It is
+// the whole-simulator regression gate: any behavioral change anywhere in
+// the pipeline, caches, NoC, power model or controllers moves at least one
+// digest. Regenerate intentionally changed baselines with `go generate
+// ./...` (or `make golden`).
+func TestGoldenMatrixDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix (98 runs) skipped in -short")
+	}
+	want := readGoldenMatrix(t)
 
 	e := ptbsim.NewExperiment(
 		ptbsim.WithScale(0.25),

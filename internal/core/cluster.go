@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ptbsim/internal/budget"
+	"ptbsim/internal/fault"
 )
 
 // ClusteredBalancer is the paper's scalability proposal (§III.E.2): "one
@@ -53,6 +54,42 @@ func (c *ClusteredBalancer) Name() string {
 
 // Groups returns the per-cluster balancers (stats/tests).
 func (c *ClusteredBalancer) Groups() []*Balancer { return c.groups }
+
+// Inner exposes the chip-wide inner controller (for fault wiring through
+// the controller stack).
+func (c *ClusteredBalancer) Inner() budget.Controller { return c.inner }
+
+// SetFaults wires one shared token fault stream into every cluster. The
+// clusters tick in a fixed order each cycle, so sharing the stream keeps
+// the decision sequence deterministic.
+func (c *ClusteredBalancer) SetFaults(inj *fault.TokenInjector) {
+	for _, g := range c.groups {
+		g.SetFaults(inj)
+	}
+}
+
+// FaultStats aggregates the degradation ledger across clusters.
+func (c *ClusteredBalancer) FaultStats() (lostPJ, dupPJ float64, retries, reportsLost, staleCycles int64) {
+	for _, g := range c.groups {
+		l, d, r, rl, sc := g.FaultStats()
+		lostPJ += l
+		dupPJ += d
+		retries += r
+		reportsLost += rl
+		staleCycles += sc
+	}
+	return
+}
+
+// Degraded reports whether any cluster left ideal operation.
+func (c *ClusteredBalancer) Degraded() bool {
+	for _, g := range c.groups {
+		if g.Degraded() {
+			return true
+		}
+	}
+	return false
+}
 
 // CheckConservation verifies token conservation independently for every
 // cluster (tokens never cross cluster boundaries, so each group must

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"ptbsim/internal/budget"
+	"ptbsim/internal/fault"
 	"ptbsim/internal/invariant"
 	"ptbsim/internal/power"
 )
@@ -95,6 +96,8 @@ const defaultWireBits = 4
 type flight struct {
 	arriveAt int64
 	total    float64
+	// attempts counts retransmissions after injected drops (fault mode).
+	attempts int
 }
 
 // Balancer is the PTB load-balancer wrapped around an inner budget
@@ -121,6 +124,23 @@ type Balancer struct {
 	rounds      int64
 	toOneRounds int64
 	toAllRounds int64
+
+	// Fault mode (nil faults = the paper's ideal hardware). When an injector
+	// is wired, the balancer no longer reads ground-truth EstPJ directly: it
+	// keeps a *report view* — the last token count each core successfully
+	// delivered — plus a stale-token watchdog and a bounded retransmit path
+	// for dropped batches, and two extra ledger terms (lost, duplicated) so
+	// token conservation stays checkable under injection.
+	faults       *fault.TokenInjector
+	estView      []float64 // last successfully reported estimate per core
+	lastReport   []int64   // cycle of each core's last delivered report
+	staleTimeout int64
+
+	lostPJ              float64 // batches dropped past the retry bound
+	dupPJ               float64 // extra energy injected by duplicated batches
+	retries             int64   // retransmission attempts
+	reportsLost         int64   // core→balancer report messages lost
+	staleFallbackCycles int64   // core-cycles the watchdog ran on fallback
 }
 
 // NewBalancer creates the PTB mechanism for n cores with the standard
@@ -157,6 +177,25 @@ func (b *Balancer) SetWireBits(bits int) {
 // Name identifies the technique.
 func (b *Balancer) Name() string { return "ptb+" + b.inner.Name() }
 
+// Inner exposes the wrapped budget controller (for fault wiring through the
+// controller stack).
+func (b *Balancer) Inner() budget.Controller { return b.inner }
+
+// SetFaults wires a token-exchange fault stream into the balancer and
+// activates the graceful-degradation machinery (report view, stale-token
+// watchdog, bounded retransmit). With all rates zero the faulted paths are
+// bit-identical to the ideal ones — the view always equals the ground truth
+// and no retransmit ever happens.
+func (b *Balancer) SetFaults(inj *fault.TokenInjector) {
+	if inj == nil {
+		return
+	}
+	b.faults = inj
+	b.staleTimeout = inj.StaleTimeout()
+	b.estView = make([]float64, b.n)
+	b.lastReport = make([]int64, b.n)
+}
+
 // Policy returns the configured distribution policy.
 func (b *Balancer) Policy() Policy { return b.policy }
 
@@ -178,6 +217,22 @@ func (b *Balancer) PolicyRounds() (toOne, toAll int64) {
 	return b.toOneRounds, b.toAllRounds
 }
 
+// FaultStats returns the balancer's degradation ledger: token energy lost
+// past the retry bound, extra energy from duplicated batches, retransmission
+// attempts, lost core reports, and core-cycles spent on the watchdog's
+// static-share fallback. All zero without an injector.
+func (b *Balancer) FaultStats() (lostPJ, dupPJ float64, retries, reportsLost, staleCycles int64) {
+	return b.lostPJ, b.dupPJ, b.retries, b.reportsLost, b.staleFallbackCycles
+}
+
+// Degraded reports whether the balancer ever left ideal operation: a token
+// batch was lost for good, or the stale-token watchdog had to fall back to
+// a core's static share. Retries and delays alone are not degradation — the
+// protocol absorbed those.
+func (b *Balancer) Degraded() bool {
+	return b.lostPJ > 0 || b.staleFallbackCycles > 0
+}
+
 // PendingPJ returns the token energy currently in flight toward the
 // balancer (donated but not yet landed as grants or discards).
 func (b *Balancer) PendingPJ() float64 {
@@ -194,15 +249,21 @@ func (b *Balancer) PendingPJ() float64 {
 // still be in flight. §III.E's "a donating core sets a more restrictive
 // power budget" only sums to the global budget if this ledger balances;
 // a leak here would silently break the paper's AoPB accounting.
+// Under fault injection the ledger gains two terms — duplicated batches add
+// energy on the input side, lost batches account for it on the output side —
+// and the identity becomes donated + duplicated = granted + discarded +
+// in-flight + lost. Faults are modeled, not corrupting: injection must never
+// unbalance this equation.
 func (b *Balancer) CheckConservation() error {
-	out := b.grantedPJ + b.discardedPJ + b.PendingPJ()
-	if !invariant.CloseTo(b.donatedPJ, out) {
-		return fmt.Errorf("core: token leak: donated %.6f pJ != granted %.6f + discarded %.6f + in-flight %.6f pJ",
-			b.donatedPJ, b.grantedPJ, b.discardedPJ, b.PendingPJ())
+	in := b.donatedPJ + b.dupPJ
+	out := b.grantedPJ + b.discardedPJ + b.PendingPJ() + b.lostPJ
+	if !invariant.CloseTo(in, out) {
+		return fmt.Errorf("core: token leak: donated %.6f + duplicated %.6f pJ != granted %.6f + discarded %.6f + in-flight %.6f + lost %.6f pJ",
+			b.donatedPJ, b.dupPJ, b.grantedPJ, b.discardedPJ, b.PendingPJ(), b.lostPJ)
 	}
-	if b.donatedPJ < 0 || b.grantedPJ < 0 || b.discardedPJ < 0 {
-		return fmt.Errorf("core: negative token ledger: donated %.6f granted %.6f discarded %.6f",
-			b.donatedPJ, b.grantedPJ, b.discardedPJ)
+	if b.donatedPJ < 0 || b.grantedPJ < 0 || b.discardedPJ < 0 || b.lostPJ < 0 || b.dupPJ < 0 {
+		return fmt.Errorf("core: negative token ledger: donated %.6f granted %.6f discarded %.6f lost %.6f duplicated %.6f",
+			b.donatedPJ, b.grantedPJ, b.discardedPJ, b.lostPJ, b.dupPJ)
 	}
 	return nil
 }
@@ -229,6 +290,25 @@ func (b *Balancer) BalanceOnly(st *budget.ChipState) {
 
 	b.detector.UpdateMasked(st, b.detectorMask)
 
+	// Fault mode: refresh the report view. Each core sends its current token
+	// count toward the balancer; a lost report leaves the previous view (and
+	// its timestamp) in place, and cores whose last delivered report is older
+	// than the watchdog timeout are counted as running on the static-share
+	// fallback this cycle.
+	if b.faults != nil {
+		for i := 0; i < b.n; i++ {
+			if b.faults.ReportLost() {
+				b.reportsLost++
+			} else {
+				b.estView[i] = st.EstPJ[i]
+				b.lastReport[i] = st.Cycle
+			}
+			if st.Cycle-b.lastReport[i] > b.staleTimeout {
+				b.staleFallbackCycles++
+			}
+		}
+	}
+
 	// Donor restrictions are per cycle: clear last cycle's ledger before
 	// landing grants so neediness is judged against this cycle's state.
 	for i := 0; i < b.n; i++ {
@@ -238,13 +318,72 @@ func (b *Balancer) BalanceOnly(st *budget.ChipState) {
 	b.collect(st)
 }
 
-// land applies token batches whose transfer latency has elapsed.
+// est returns the balancer's belief about core i's per-cycle energy: the
+// ground truth on ideal hardware, the report view under fault injection, or
+// — when the view is older than the watchdog timeout — the core's static
+// share, which makes a silent core neither donor nor needy (graceful
+// degradation toward the paper's no-PTB baseline for that core).
+func (b *Balancer) est(st *budget.ChipState, i int) float64 {
+	if b.faults == nil {
+		return st.EstPJ[i]
+	}
+	if st.Cycle-b.lastReport[i] > b.staleTimeout {
+		return st.LocalBudgetPJ[i]
+	}
+	return b.estView[i]
+}
+
+// chipOver decides whether balancing should collect this cycle. The real
+// balancer hardware only sees the reports, so in fault mode the decision
+// sums the view rather than the ground-truth ChipEstPJ. The summation order
+// matches ChipState.Refresh, so with a zero-rate injector the sum is
+// bit-identical to ChipEstPJ.
+func (b *Balancer) chipOver(st *budget.ChipState) bool {
+	if b.faults == nil {
+		return st.ChipOver()
+	}
+	sum := 0.0
+	for i := 0; i < b.n; i++ {
+		sum += b.est(st, i)
+	}
+	return sum > st.GlobalBudgetPJ
+}
+
+// land applies token batches whose transfer latency has elapsed. On ideal
+// hardware flights arrive strictly in launch order (constant latency), so
+// the FIFO pop suffices; under fault injection delays and retransmit
+// backoffs reorder arrivals, so the whole queue is scanned. A batch whose
+// delivery attempt is dropped is retransmitted after an exponential backoff
+// until the retry bound, then written off as lost.
 func (b *Balancer) land(st *budget.ChipState) {
-	for len(b.flights) > 0 && b.flights[0].arriveAt <= st.Cycle {
-		f := b.flights[0]
-		b.flights = b.flights[1:]
+	if b.faults == nil {
+		for len(b.flights) > 0 && b.flights[0].arriveAt <= st.Cycle {
+			f := b.flights[0]
+			b.flights = b.flights[1:]
+			b.distribute(st, f.total)
+		}
+		return
+	}
+	kept := b.flights[:0]
+	for _, f := range b.flights {
+		if f.arriveAt > st.Cycle {
+			kept = append(kept, f)
+			continue
+		}
+		if b.faults.FlightDropped() {
+			if f.attempts >= b.faults.MaxRetries() {
+				b.lostPJ += f.total
+				continue
+			}
+			f.attempts++
+			b.retries++
+			f.arriveAt = st.Cycle + b.faults.Backoff(f.attempts) + b.lat.Total()
+			kept = append(kept, f)
+			continue
+		}
 		b.distribute(st, f.total)
 	}
+	b.flights = kept
 }
 
 // distribute grants a landed token batch to the cores currently over their
@@ -265,7 +404,7 @@ func (b *Balancer) distribute(st *budget.ChipState, total float64) {
 	quantum := capPJ / float64(b.wireQuanta)
 	maxGrant := float64(b.wireQuanta) * quantum
 
-	needy := needyCores(st)
+	needy := b.needyCores(st)
 	if len(needy) == 0 {
 		b.discardedPJ += total
 		return
@@ -278,7 +417,7 @@ func (b *Balancer) distribute(st *budget.ChipState, total float64) {
 		// The core that needs tokens the most: largest overshoot.
 		best, bestOver := -1, 0.0
 		for _, i := range needy {
-			over := st.EstPJ[i] - (st.LocalBudgetPJ[i] - st.DonatedPJ[i])
+			over := b.est(st, i) - (st.LocalBudgetPJ[i] - st.DonatedPJ[i])
 			if over > bestOver {
 				best, bestOver = i, over
 			}
@@ -315,7 +454,7 @@ func (b *Balancer) distribute(st *budget.ChipState, total float64) {
 // chip-wide allowance never exceeds the global budget once the pipeline of
 // token flights reaches steady state.
 func (b *Balancer) collect(st *budget.ChipState) {
-	if !st.ChipOver() {
+	if !b.chipOver(st) {
 		return
 	}
 	quantum := st.LocalBudgetPJ[0] / float64(b.wireQuanta)
@@ -324,7 +463,7 @@ func (b *Balancer) collect(st *budget.ChipState) {
 	}
 	total := 0.0
 	for i := 0; i < b.n; i++ {
-		avail := st.LocalBudgetPJ[i] - st.EstPJ[i]
+		avail := st.LocalBudgetPJ[i] - b.est(st, i)
 		if avail <= 0 {
 			continue
 		}
@@ -343,10 +482,21 @@ func (b *Balancer) collect(st *budget.ChipState) {
 		return
 	}
 	b.donatedPJ += total
-	b.flights = append(b.flights, flight{
+	fl := flight{
 		arriveAt: st.Cycle + b.lat.Total(),
 		total:    total,
-	})
+	}
+	if b.faults != nil {
+		fl.arriveAt += b.faults.FlightDelay()
+		if b.faults.FlightDuplicated() {
+			// The balancer receives the batch twice: the duplicate is extra
+			// energy entering the system, tracked on the input side of the
+			// conservation ledger.
+			b.dupPJ += total
+			b.flights = append(b.flights, fl)
+		}
+	}
+	b.flights = append(b.flights, fl)
 }
 
 // dynamicPolicy implements the §IV.B selector: lock spinning anywhere on
@@ -363,11 +513,14 @@ func (b *Balancer) dynamicPolicy(st *budget.ChipState) Policy {
 	return PolicyToAll
 }
 
-// needyCores lists the cores above their donation-adjusted local budget.
-func needyCores(st *budget.ChipState) []int {
+// needyCores lists the cores above their donation-adjusted local budget, as
+// seen through the balancer's report view. A watchdog-stale core reads as
+// exactly at budget, and a stale core cannot have donated this cycle, so it
+// is never needy.
+func (b *Balancer) needyCores(st *budget.ChipState) []int {
 	var out []int
 	for i := 0; i < st.NCores; i++ {
-		if st.EstPJ[i] > st.LocalBudgetPJ[i]-st.DonatedPJ[i] {
+		if b.est(st, i) > st.LocalBudgetPJ[i]-st.DonatedPJ[i] {
 			out = append(out, i)
 		}
 	}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"ptbsim/internal/fault"
+)
+
+// tokenInjector builds a token fault stream for one test balancer.
+func tokenInjector(s fault.Spec) *fault.TokenInjector {
+	return fault.NewInjector(s).Token()
+}
+
+// TestReportLossStarvesBalancerAndTripsWatchdog drives the balancer with
+// drop=1: every core report is lost, so the report view never updates, the
+// balancer never sees the chip over budget, and after the stale timeout the
+// watchdog falls back to the static per-core share for every core. All of
+// it must be exactly countable for a fixed seed.
+func TestReportLossStarvesBalancerAndTripsWatchdog(t *testing.T) {
+	const cycles = 200
+	st := newPTBState(4, 4000, nil)
+	rec := &recorder{}
+	b := NewBalancer(4, PolicyToAll, rec)
+	b.SetFaults(tokenInjector(fault.Spec{Seed: 1, TokenDrop: 1}))
+
+	for cyc := int64(1); cyc <= cycles; cyc++ {
+		setEst(st, cyc, 500, 500, 1600, 1600)
+		b.Tick(st)
+	}
+
+	// Blind balancer: the view stays at zero (under budget), and once stale
+	// the fallback share sums exactly to the global budget — never over, so
+	// no donation rounds and no grants, ever.
+	for i, snap := range rec.extras {
+		for c, v := range snap {
+			if v != 0 {
+				t.Fatalf("cycle %d: blind balancer granted %v pJ to core %d", i+1, v, c)
+			}
+		}
+	}
+	donated, granted, discarded, rounds := b.Stats()
+	if donated != 0 || granted != 0 || discarded != 0 || rounds != 0 {
+		t.Fatalf("blind balancer still balanced: donated=%v granted=%v discarded=%v rounds=%d",
+			donated, granted, discarded, rounds)
+	}
+
+	lost, dup, retries, reportsLost, stale := b.FaultStats()
+	if reportsLost != 4*cycles {
+		t.Fatalf("reportsLost = %d, want %d (4 cores x %d cycles, drop=1)", reportsLost, 4*cycles, cycles)
+	}
+	// lastReport stays 0, so a core is stale once cycle > DefaultStaleTimeout:
+	// cycles 65..200 inclusive, for all 4 cores.
+	wantStale := int64(4 * (cycles - fault.DefaultStaleTimeout))
+	if stale != wantStale {
+		t.Fatalf("staleFallbackCycles = %d, want %d", stale, wantStale)
+	}
+	if lost != 0 || dup != 0 || retries != 0 {
+		t.Fatalf("no flights ever launched, yet lost=%v dup=%v retries=%d", lost, dup, retries)
+	}
+	if !b.Degraded() {
+		t.Fatal("watchdog fired but Degraded() = false")
+	}
+	if err := b.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlightDropRetryAndLoss uses a moderate drop rate so reports mostly
+// get through (flights launch) while delivery attempts are dropped often
+// enough that both the bounded-retry path and the written-off-as-lost path
+// fire. The run must be byte-reproducible for the fixed seed and keep the
+// extended conservation ledger balanced throughout.
+func TestFlightDropRetryAndLoss(t *testing.T) {
+	run := func() *Balancer {
+		st := newPTBState(4, 4000, nil)
+		b := NewBalancer(4, PolicyToAll, &recorder{})
+		b.SetFaults(tokenInjector(fault.Spec{Seed: 7, TokenDrop: 0.4}))
+		for cyc := int64(1); cyc <= 2000; cyc++ {
+			setEst(st, cyc, 500, 500, 1600, 1600)
+			b.Tick(st)
+			if cyc%100 == 0 {
+				if err := b.CheckConservation(); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return b
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("conservation broke mid-run: %v", p)
+		}
+	}()
+
+	b := run()
+	donated, granted, _, _ := b.Stats()
+	lost, _, retries, reportsLost, _ := b.FaultStats()
+	if donated <= 0 || granted <= 0 {
+		t.Fatalf("no balancing happened at drop=0.4: donated=%v granted=%v", donated, granted)
+	}
+	if retries == 0 {
+		t.Fatal("no delivery attempt was ever retransmitted at drop=0.4 over 2000 cycles")
+	}
+	if lost <= 0 {
+		t.Fatal("no batch exhausted its retry bound at drop=0.4 over 2000 cycles")
+	}
+	if reportsLost == 0 {
+		t.Fatal("no core report was lost at drop=0.4")
+	}
+	if !b.Degraded() {
+		t.Fatal("tokens were lost but Degraded() = false")
+	}
+	if err := b.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same seed, same rates: the whole degradation ledger must reproduce.
+	b2 := run()
+	l2, d2, r2, rl2, s2 := b2.FaultStats()
+	l1, d1, r1, rl1, s1 := b.FaultStats()
+	if l1 != l2 || d1 != d2 || r1 != r2 || rl1 != rl2 || s1 != s2 {
+		t.Fatalf("fixed seed not deterministic: (%v %v %d %d %d) vs (%v %v %d %d %d)",
+			l1, d1, r1, rl1, s1, l2, d2, r2, rl2, s2)
+	}
+	don2, gr2, _, _ := b2.Stats()
+	if donated != don2 || granted != gr2 {
+		t.Fatalf("token flow not deterministic: donated %v vs %v, granted %v vs %v",
+			donated, don2, granted, gr2)
+	}
+}
+
+// TestFlightDuplication checks dup=1: every launched batch is received
+// twice. The duplicate energy is tracked on the input side of the ledger
+// (dupPJ must equal donatedPJ exactly when every batch duplicates), the
+// ledger stays balanced, and duplication alone is NOT degradation — nothing
+// was lost and no watchdog fired.
+func TestFlightDuplication(t *testing.T) {
+	st := newPTBState(4, 4000, nil)
+	b := NewBalancer(4, PolicyToAll, &recorder{})
+	b.SetFaults(tokenInjector(fault.Spec{Seed: 3, TokenDup: 1}))
+
+	for cyc := int64(1); cyc <= 50; cyc++ {
+		setEst(st, cyc, 500, 500, 1600, 1600)
+		b.Tick(st)
+	}
+
+	donated, granted, _, _ := b.Stats()
+	_, dup, _, _, _ := b.FaultStats()
+	if donated <= 0 {
+		t.Fatal("no donations at dup=1")
+	}
+	if dup != donated {
+		t.Fatalf("dup=1 must duplicate every batch: dupPJ=%v donatedPJ=%v", dup, donated)
+	}
+	if granted <= 0 {
+		t.Fatal("duplicated batches landed no grants")
+	}
+	if b.Degraded() {
+		t.Fatal("duplication alone must not set Degraded: nothing was lost")
+	}
+	if err := b.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlightDelayPostponesGrants checks delay=1 with the default extra
+// delay: donations launched at cycle 1 with transfer latency 3 normally
+// land at cycle 4; delayed batches must land exactly DefaultTokenDelayCycles
+// later, and not a cycle earlier.
+func TestFlightDelayPostponesGrants(t *testing.T) {
+	st := newPTBState(4, 4000, nil)
+	rec := &recorder{}
+	b := NewBalancer(4, PolicyToAll, rec)
+	b.SetFaults(tokenInjector(fault.Spec{Seed: 2, TokenDelay: 1}))
+
+	firstGrant := int64(4 + fault.DefaultTokenDelayCycles) // 20
+	for cyc := int64(1); cyc <= firstGrant+5; cyc++ {
+		setEst(st, cyc, 500, 500, 1600, 1600)
+		b.Tick(st)
+	}
+	for i, snap := range rec.extras {
+		cyc := int64(i + 1)
+		got := snap[2] > 0 || snap[3] > 0
+		if got && cyc < firstGrant {
+			t.Fatalf("delayed grant landed at cycle %d, earliest legal is %d", cyc, firstGrant)
+		}
+		if cyc == firstGrant && !got {
+			t.Fatalf("no grant at cycle %d despite deterministic delay", firstGrant)
+		}
+	}
+	if _, _, _, _, stale := b.FaultStats(); stale != 0 {
+		t.Fatalf("delay must not trip the watchdog: staleFallbackCycles=%d", stale)
+	}
+	if b.Degraded() {
+		t.Fatal("delays are absorbed by the protocol and must not set Degraded")
+	}
+	if err := b.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroRateTokenInjectorIsIdentity runs two balancers over the same
+// stimulus — one ideal, one with a zero-rate injector (non-zero seed) — and
+// requires bit-identical grants and statistics each cycle: the zero spec is
+// the identity, per the package contract.
+func TestZeroRateTokenInjectorIsIdentity(t *testing.T) {
+	stA := newPTBState(4, 4000, nil)
+	stB := newPTBState(4, 4000, nil)
+	recA, recB := &recorder{}, &recorder{}
+	a := NewBalancer(4, PolicyDynamic, recA)
+	b := NewBalancer(4, PolicyDynamic, recB)
+	b.SetFaults(tokenInjector(fault.Spec{Seed: 99}))
+
+	for cyc := int64(1); cyc <= 120; cyc++ {
+		// Alternate over- and under-budget phases so collect, land and the
+		// dynamic policy all exercise.
+		ests := []float64{500, 500, 1600, 1600}
+		if (cyc/20)%2 == 1 {
+			ests = []float64{400, 400, 900, 900}
+		}
+		setEst(stA, cyc, ests...)
+		setEst(stB, cyc, ests...)
+		a.Tick(stA)
+		b.Tick(stB)
+	}
+
+	for i := range recA.extras {
+		for c := range recA.extras[i] {
+			if recA.extras[i][c] != recB.extras[i][c] {
+				t.Fatalf("cycle %d core %d: ideal grant %v != zero-rate grant %v",
+					i+1, c, recA.extras[i][c], recB.extras[i][c])
+			}
+		}
+	}
+	donA, graA, disA, rndA := a.Stats()
+	donB, graB, disB, rndB := b.Stats()
+	if donA != donB || graA != graB || disA != disB || rndA != rndB {
+		t.Fatalf("zero-rate stats diverged: (%v %v %v %d) vs (%v %v %v %d)",
+			donA, graA, disA, rndA, donB, graB, disB, rndB)
+	}
+	lost, dup, retries, reportsLost, stale := b.FaultStats()
+	if lost != 0 || dup != 0 || retries != 0 || reportsLost != 0 || stale != 0 {
+		t.Fatalf("zero-rate injector fired: %v %v %d %d %d", lost, dup, retries, reportsLost, stale)
+	}
+	if b.Degraded() {
+		t.Fatal("zero-rate run marked Degraded")
+	}
+	if err := b.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

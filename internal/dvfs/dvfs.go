@@ -8,6 +8,8 @@
 // cycles of stall, set by TransitionTicks.
 package dvfs
 
+import "ptbsim/internal/fault"
+
 // Mode is one (relative voltage, relative frequency) operating point.
 type Mode struct {
 	V float64
@@ -52,6 +54,12 @@ type Governor struct {
 	idx   []int
 
 	transitions int64
+
+	// Fault mode (nil = ideal regulator): an injected glitch makes an
+	// attempted mode change fail — the core pays the transition stall but
+	// stays at its current operating point until the next window.
+	faults   *fault.DVFSInjector
+	glitches int64
 }
 
 // NewGovernor creates a governor for n cores on the given ladder.
@@ -70,6 +78,17 @@ func (g *Governor) ModeIndex(core int) int { return g.idx[core] }
 
 // Transitions returns the total number of mode changes decided.
 func (g *Governor) Transitions() int64 { return g.transitions }
+
+// SetFaults wires a DVFS-transition fault stream into the governor.
+func (g *Governor) SetFaults(inj *fault.DVFSInjector) {
+	if inj == nil {
+		return
+	}
+	g.faults = inj
+}
+
+// Glitches returns how many attempted transitions glitched.
+func (g *Governor) Glitches() int64 { return g.glitches }
 
 // dynScale is the dynamic-power scale of a mode (V²·f).
 func dynScale(m Mode) float64 { return m.V * m.V * m.F }
@@ -98,6 +117,13 @@ func (g *Governor) Decide(core int, avgEstPJ, localBudgetPJ float64, chipOver bo
 	}
 	if target == cur {
 		return g.modes[cur], false
+	}
+	if g.faults != nil && g.faults.Glitch() {
+		// The regulator attempted the switch and failed: report "changed" so
+		// the caller charges the transition stall, but hold the current
+		// operating point (re-applying the same V/F is harmless).
+		g.glitches++
+		return g.modes[cur], true
 	}
 	g.idx[core] = target
 	g.transitions++

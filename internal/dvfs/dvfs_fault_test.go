@@ -1,0 +1,65 @@
+package dvfs
+
+import (
+	"testing"
+
+	"ptbsim/internal/fault"
+)
+
+// TestGlitchHoldsOperatingPoint: with glitch=1 every attempted transition
+// fails — Decide reports a change (the caller charges the stall) but the
+// core must stay at its current operating point, deterministically.
+func TestGlitchHoldsOperatingPoint(t *testing.T) {
+	g := NewGovernor(1, DVFSModes())
+	g.SetFaults(fault.NewInjector(fault.Spec{Seed: 1, DVFSGlitch: 1}).DVFS())
+
+	// Chip over budget, estimate far above the local budget: the governor
+	// wants the deepest power-saving mode.
+	for i := 1; i <= 5; i++ {
+		mode, changed := g.Decide(0, 100, 50, true)
+		if !changed {
+			t.Fatalf("attempt %d: glitched transition must still report a change (stall is paid)", i)
+		}
+		if mode != DVFSModes()[0] {
+			t.Fatalf("attempt %d: glitched core moved to %+v", i, mode)
+		}
+		if g.ModeIndex(0) != 0 {
+			t.Fatalf("attempt %d: ladder position moved to %d", i, g.ModeIndex(0))
+		}
+	}
+	if g.Glitches() != 5 {
+		t.Fatalf("Glitches() = %d, want 5", g.Glitches())
+	}
+	if g.Transitions() != 0 {
+		t.Fatalf("Transitions() = %d, want 0: no switch ever completed", g.Transitions())
+	}
+}
+
+// TestZeroRateGlitchInjectorIsIdentity: a zero-rate injector (and a nil
+// one) must leave the governor's transitions untouched.
+func TestZeroRateGlitchInjectorIsIdentity(t *testing.T) {
+	g := NewGovernor(1, DVFSModes())
+	g.SetFaults(fault.NewInjector(fault.Spec{Seed: 42}).DVFS())
+	g.SetFaults(nil) // no-op
+
+	mode, changed := g.Decide(0, 100, 50, true)
+	if !changed {
+		t.Fatal("zero-rate governor refused the transition")
+	}
+	want := DVFSModes()[len(DVFSModes())-1]
+	if mode != want {
+		t.Fatalf("transitioned to %+v, want deepest mode %+v", mode, want)
+	}
+	if g.Glitches() != 0 {
+		t.Fatalf("zero-rate injector glitched %d times", g.Glitches())
+	}
+	if g.Transitions() != 1 {
+		t.Fatalf("Transitions() = %d, want 1", g.Transitions())
+	}
+
+	// Constraint lifted: the core steps straight back to full speed.
+	mode, changed = g.Decide(0, 100, 50, false)
+	if !changed || mode != DVFSModes()[0] {
+		t.Fatalf("release: mode %+v changed=%t, want full speed", mode, changed)
+	}
+}

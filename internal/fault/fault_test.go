@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestParseEmptyIsZero(t *testing.T) {
+	for _, in := range []string{"", "   "} {
+		s, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if !s.Zero() {
+			t.Fatalf("Parse(%q) = %+v, want zero spec", in, s)
+		}
+		if got := s.String(); got != "" {
+			t.Fatalf("zero spec String() = %q, want empty", got)
+		}
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	in := "seed=42, drop=0.25, delay=0.1, dup=0.05, delaycycles=32, stale=128," +
+		" retries=5, backoff=4, stall=0.2, stallcycles=8, corrupt=0.01," +
+		" noise=0.03, drift=0.02, glitch=0.15"
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Seed: 42, TokenDrop: 0.25, TokenDelay: 0.1, TokenDup: 0.05,
+		TokenDelayCycles: 32, StaleTimeout: 128, MaxRetries: 5, RetryBackoff: 4,
+		LinkStall: 0.2, LinkStallCycles: 8, FlitCorrupt: 0.01,
+		SensorNoise: 0.03, SensorDrift: 0.02, DVFSGlitch: 0.15,
+	}
+	if s != want {
+		t.Fatalf("Parse mismatch:\n got  %+v\n want %+v", s, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"drop",                // no '='
+		"bogus=1",             // unknown key
+		"drop=2",              // rate out of range
+		"drop=-0.1",           // negative rate
+		"drop=NaN",            // NaN rate
+		"drop=x",              // malformed float
+		"seed=-1",             // negative seed
+		"drop=0.1,drop=0.2",   // repeated key
+		"drop=0.1,,stall=0.2", // empty clause
+	} {
+		if _, err := Parse(in); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Parse(%q) err = %v, want ErrBadSpec", in, err)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Seed: 7, TokenDrop: 0.5},
+		{TokenDrop: 0.1, TokenDelay: 0.2, TokenDup: 0.3, TokenDelayCycles: 9,
+			StaleTimeout: -1, MaxRetries: -2, RetryBackoff: 3,
+			LinkStall: 0.4, LinkStallCycles: 5, FlitCorrupt: 0.6,
+			SensorNoise: 0.7, SensorDrift: 0.8, DVFSGlitch: 0.9, Seed: 123},
+	}
+	for _, s := range specs {
+		got, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("round-trip Parse(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip via %q:\n got  %+v\n want %+v", s.String(), got, s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{TokenDrop: 1.5},
+		{TokenDelay: -0.1},
+		{SensorNoise: math.NaN()},
+		{DVFSGlitch: math.Inf(1)},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadSpec", s, err)
+		}
+	}
+}
+
+func TestDefaultsResolution(t *testing.T) {
+	d := Spec{}.withDefaults()
+	if d.StaleTimeout != DefaultStaleTimeout || d.MaxRetries != DefaultMaxRetries ||
+		d.RetryBackoff != DefaultRetryBackoff ||
+		d.TokenDelayCycles != DefaultTokenDelayCycles ||
+		d.LinkStallCycles != DefaultLinkStallCycles {
+		t.Fatalf("zero-field defaults not applied: %+v", d)
+	}
+	off := Spec{StaleTimeout: -1, MaxRetries: -1, TokenDelayCycles: -1, LinkStallCycles: -1}.withDefaults()
+	if off.StaleTimeout != neverStale {
+		t.Fatalf("negative StaleTimeout should disable the watchdog, got %d", off.StaleTimeout)
+	}
+	if off.MaxRetries != 0 {
+		t.Fatalf("negative MaxRetries should mean no retries, got %d", off.MaxRetries)
+	}
+	if off.TokenDelayCycles != 0 || off.LinkStallCycles != 0 {
+		t.Fatalf("negative cycle params should mean zero-length faults: %+v", off)
+	}
+}
+
+// TestDeterminism: two injectors with the same spec produce identical
+// decision sequences across all domains.
+func TestDeterminism(t *testing.T) {
+	spec := Spec{Seed: 99, TokenDrop: 0.3, TokenDelay: 0.2, TokenDup: 0.1,
+		LinkStall: 0.25, FlitCorrupt: 0.15, SensorNoise: 0.05,
+		SensorDrift: 0.02, DVFSGlitch: 0.4}
+	a, b := NewInjector(spec), NewInjector(spec)
+	var da, db float64
+	for i := 0; i < 2000; i++ {
+		if a.Token().ReportLost() != b.Token().ReportLost() ||
+			a.Token().FlightDropped() != b.Token().FlightDropped() ||
+			a.Token().FlightDelay() != b.Token().FlightDelay() ||
+			a.Token().FlightDuplicated() != b.Token().FlightDuplicated() ||
+			a.Link().Stall() != b.Link().Stall() ||
+			a.Link().Corrupt() != b.Link().Corrupt() ||
+			a.Sensor().Factor(&da) != b.Sensor().Factor(&db) ||
+			a.DVFS().Glitch() != b.DVFS().Glitch() {
+			t.Fatalf("decision divergence at step %d", i)
+		}
+	}
+	if a.Fired() != b.Fired() {
+		t.Fatalf("fired counts diverge: %d vs %d", a.Fired(), b.Fired())
+	}
+	if a.Fired() == 0 {
+		t.Fatal("no faults fired over 2000 steps at these rates")
+	}
+}
+
+// TestDomainIndependence: changing one domain's rate must not shift another
+// domain's decision stream (each domain owns an independent split).
+func TestDomainIndependence(t *testing.T) {
+	base := Spec{Seed: 5, LinkStall: 0.5}
+	more := base
+	more.TokenDrop = 0.9 // heavy traffic on the token stream
+	a, b := NewInjector(base), NewInjector(more)
+	for i := 0; i < 500; i++ {
+		b.Token().ReportLost() // consume token-domain entropy in b only
+		if a.Link().Stall() != b.Link().Stall() {
+			t.Fatalf("link stream perturbed by token-domain rate at step %d", i)
+		}
+	}
+}
+
+// TestZeroRatesNeverFire: a zero spec's injectors never fire and the sensor
+// factor is exactly 1 (multiplicative identity, so perturbed readings are
+// bit-identical to clean ones).
+func TestZeroRatesNeverFire(t *testing.T) {
+	inj := NewInjector(Spec{Seed: 1})
+	var drift float64
+	for i := 0; i < 1000; i++ {
+		if inj.Token().ReportLost() || inj.Token().FlightDropped() ||
+			inj.Token().FlightDelay() != 0 || inj.Token().FlightDuplicated() ||
+			inj.Link().Stall() != 0 || inj.Link().Corrupt() ||
+			inj.DVFS().Glitch() {
+			t.Fatalf("zero-rate injector fired at step %d", i)
+		}
+		if f := inj.Sensor().Factor(&drift); f != 1 {
+			t.Fatalf("zero-rate sensor factor = %v, want exactly 1", f)
+		}
+	}
+	if inj.Fired() != 0 {
+		t.Fatalf("zero-rate injector counted %d fires", inj.Fired())
+	}
+}
+
+func TestSensorDriftBounded(t *testing.T) {
+	inj := NewInjector(Spec{Seed: 3, SensorDrift: 0.1})
+	var drift float64
+	for i := 0; i < 100000; i++ {
+		f := inj.Sensor().Factor(&drift)
+		if math.Abs(drift) > 0.1+1e-12 {
+			t.Fatalf("drift %v escaped ±0.1 at step %d", drift, i)
+		}
+		if f < 0 {
+			t.Fatalf("negative sensor factor %v", f)
+		}
+	}
+	if drift == 0 {
+		t.Fatal("drift never moved")
+	}
+}
+
+func TestBackoffDoubles(t *testing.T) {
+	inj := NewInjector(Spec{TokenDrop: 0.1}) // defaults: backoff 8
+	tok := inj.Token()
+	want := []int64{8, 8, 16, 32, 64}
+	for i, w := range want {
+		if got := tok.Backoff(i); got != w { // attempt 0 clamps to 1
+			t.Fatalf("Backoff(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := tok.Backoff(100); got <= 0 {
+		t.Fatalf("Backoff(100) overflowed to %d", got)
+	}
+}

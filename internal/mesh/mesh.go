@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"ptbsim/internal/eventq"
+	"ptbsim/internal/fault"
 	"ptbsim/internal/power"
 )
 
@@ -57,6 +58,13 @@ type Mesh struct {
 	// Stats.
 	messages int64
 	flitHops int64
+
+	// Fault mode (nil = ideal links): transient per-traversal stalls and
+	// detected flit corruption handled by full retransmission across the
+	// affected link.
+	faults      *fault.LinkInjector
+	stallCycles int64
+	retransmits int64
 }
 
 // Dims returns the width and height of the mesh for n nodes, preferring the
@@ -118,6 +126,23 @@ func New(n int, q *eventq.Queue, meter *power.Meter) *Mesh {
 
 // SetHandler registers the message handler for node.
 func (m *Mesh) SetHandler(node int, h Handler) { m.handlers[node] = h }
+
+// SetFaults wires a link fault stream into the mesh. Stalls push a
+// traversal's start time back; corruption retransmits the message across
+// the link (its flits cross — and are metered — twice), so flit
+// conservation holds under injection by construction.
+func (m *Mesh) SetFaults(inj *fault.LinkInjector) {
+	if inj == nil {
+		return
+	}
+	m.faults = inj
+}
+
+// FaultStats returns the injected-fault tallies: total stall cycles and
+// link-level retransmissions. Zero without an injector.
+func (m *Mesh) FaultStats() (stallCycles, retransmits int64) {
+	return m.stallCycles, m.retransmits
+}
 
 // NumNodes returns the number of addressable nodes (w×h; callers with fewer
 // tiles simply do not use the excess coordinates).
@@ -190,15 +215,29 @@ func (m *Mesh) hop(cur, dst, flits int, payload any) {
 	if start < now {
 		start = now
 	}
+	// Flits that actually cross this link — doubled when an injected
+	// corruption forces a retransmission, so serialization time and the
+	// energy charges below automatically account for the second crossing.
+	linkFlits := flits
+	if m.faults != nil {
+		if st := m.faults.Stall(); st > 0 {
+			start += st
+			m.stallCycles += st
+		}
+		if m.faults.Corrupt() {
+			linkFlits *= 2
+			m.retransmits++
+		}
+	}
 	// The link is busy until the last flit has been injected.
-	m.nextFree[li] = start + int64(flits)
-	arrive := start + int64(flits) + m.linkLatency + m.routerDelay
+	m.nextFree[li] = start + int64(linkFlits)
+	arrive := start + int64(linkFlits) + m.linkLatency + m.routerDelay
 
 	// Charge energy at the source tile of the link: flits crossing the link
 	// plus the router traversal at the receiving node.
-	m.meter.Add(m.tileFor(cur), power.EvNoCLink, flits)
-	m.meter.Add(m.tileFor(next), power.EvNoCRouter, flits)
-	m.flitHops += int64(flits)
+	m.meter.Add(m.tileFor(cur), power.EvNoCLink, linkFlits)
+	m.meter.Add(m.tileFor(next), power.EvNoCRouter, linkFlits)
+	m.flitHops += int64(linkFlits)
 
 	m.q.At(arrive, func() {
 		if next == dst {

@@ -1,0 +1,99 @@
+package mesh
+
+import (
+	"testing"
+
+	"ptbsim/internal/fault"
+)
+
+// TestLinkStallDelaysDelivery injects a stall on every link traversal and
+// checks the delivery slips by exactly the stall duration per hop while the
+// flit ledger stays conserved.
+func TestLinkStallDelaysDelivery(t *testing.T) {
+	m, q := newTestMesh(4) // 2x2
+	m.SetFaults(fault.NewInjector(fault.Spec{Seed: 1, LinkStall: 1}).Link())
+	var gotCycle int64 = -1
+	m.SetHandler(1, func(p any) { gotCycle = q.Now() })
+
+	flits := 2
+	m.Send(0, 1, flits, nil) // 1 hop east
+	q.RunUntil(1000)
+
+	want := m.UncontendedLatency(0, 1, flits) + fault.DefaultLinkStallCycles
+	if gotCycle != want {
+		t.Fatalf("stalled delivery at cycle %d, want %d", gotCycle, want)
+	}
+	stall, retx := m.FaultStats()
+	if stall != fault.DefaultLinkStallCycles || retx != 0 {
+		t.Fatalf("FaultStats = (%d, %d), want (%d, 0)", stall, retx, fault.DefaultLinkStallCycles)
+	}
+	if m.FlitHops() != int64(flits) {
+		t.Fatalf("stall must not change flit count: %d hops", m.FlitHops())
+	}
+	if err := m.CheckFlitConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlitCorruptionRetransmits injects detected corruption on every link
+// traversal: each hop's flits cross the link twice, doubling serialization
+// time and the metered flit-hops, and the flit-conservation invariant must
+// hold by construction.
+func TestFlitCorruptionRetransmits(t *testing.T) {
+	m, q := newTestMesh(4) // 2x2
+	m.SetFaults(fault.NewInjector(fault.Spec{Seed: 1, FlitCorrupt: 1}).Link())
+	var gotCycle int64 = -1
+	m.SetHandler(3, func(p any) { gotCycle = q.Now() })
+
+	flits := 2
+	m.Send(0, 3, flits, nil) // 2 hops: east, then south
+	q.RunUntil(1000)
+
+	// Every hop serializes 2x flits: one extra flit-time per flit per hop.
+	want := m.UncontendedLatency(0, 3, flits) + int64(2*flits)
+	if gotCycle != want {
+		t.Fatalf("corrupted delivery at cycle %d, want %d", gotCycle, want)
+	}
+	stall, retx := m.FaultStats()
+	if retx != 2 || stall != 0 {
+		t.Fatalf("FaultStats = (%d, %d), want (0, 2)", stall, retx)
+	}
+	if m.FlitHops() != int64(2*2*flits) {
+		t.Fatalf("retransmission must double metered flits: %d hops, want %d", m.FlitHops(), 2*2*flits)
+	}
+	if err := m.CheckFlitConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroRateLinkInjectorIsIdentity checks a zero-rate link injector (and
+// a nil one) leaves timing and flit accounting bit-identical to the
+// unfaulted mesh.
+func TestZeroRateLinkInjectorIsIdentity(t *testing.T) {
+	ideal, qi := newTestMesh(16)
+	zero, qz := newTestMesh(16)
+	zero.SetFaults(fault.NewInjector(fault.Spec{Seed: 42}).Link())
+	zero.SetFaults(nil) // no-op, must not clear the stream or panic
+
+	var atIdeal, atZero int64 = -1, -1
+	ideal.SetHandler(15, func(p any) { atIdeal = qi.Now() })
+	zero.SetHandler(15, func(p any) { atZero = qz.Now() })
+	ideal.Send(0, 15, 18, nil)
+	zero.Send(0, 15, 18, nil)
+	qi.RunUntil(1000)
+	qz.RunUntil(1000)
+
+	if atIdeal != atZero {
+		t.Fatalf("zero-rate delivery at %d, ideal at %d", atZero, atIdeal)
+	}
+	if ideal.FlitHops() != zero.FlitHops() {
+		t.Fatalf("flit hops diverged: %d vs %d", ideal.FlitHops(), zero.FlitHops())
+	}
+	stall, retx := zero.FaultStats()
+	if stall != 0 || retx != 0 {
+		t.Fatalf("zero-rate injector fired: (%d, %d)", stall, retx)
+	}
+	if err := zero.CheckFlitConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -208,6 +208,34 @@ type RunResult struct {
 	// ComponentJ breaks total energy down by structure group (frontend,
 	// execute, caches, noc, dram, power-mgmt, clock, leakage), in joules.
 	ComponentJ map[string]float64
+
+	// Fault-injection telemetry (all zero unless a fault spec was wired).
+	// None of these fields enter Result.Digest — the digest format is pinned
+	// by the committed golden matrix, and the zero-rate identity is asserted
+	// on the digest itself.
+
+	// Degraded marks a run in which the PTB balancer left ideal operation:
+	// a token batch was lost past the retry bound, or the stale-token
+	// watchdog fell back to a static share.
+	Degraded bool
+	// FaultsInjected counts every fault decision that fired, all domains.
+	FaultsInjected int64
+	// TokenLostPJ and TokenDupPJ extend the token ledger under injection:
+	// energy of batches lost past the retry bound, and extra energy from
+	// duplicated batches.
+	TokenLostPJ float64
+	TokenDupPJ  float64
+	// TokenRetries counts batch retransmissions; TokenReportsLost counts
+	// lost core→balancer report messages; StaleFallbackCycles counts
+	// core-cycles the watchdog ran on the static-share fallback.
+	TokenRetries        int64
+	TokenReportsLost    int64
+	StaleFallbackCycles int64
+	// NoCStallCycles and NoCRetransmits tally injected link faults.
+	NoCStallCycles int64
+	NoCRetransmits int64
+	// DVFSGlitches counts failed mode transitions.
+	DVFSGlitches int64
 }
 
 // EDP returns the energy-delay product in joule-seconds.

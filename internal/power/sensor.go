@@ -1,0 +1,36 @@
+package power
+
+import "ptbsim/internal/fault"
+
+// NoisySensor models imperfect per-core power sensing: the controllers in
+// a real chip read sensors, not ground truth, and sensors exhibit white
+// noise and slow calibration drift. The simulator's power *accounting*
+// stays exact — only the estimates the budget controllers see are
+// perturbed, so energy-conservation invariants keep holding while control
+// decisions degrade.
+//
+// Each core owns an independent drift state (a bounded random walk);
+// sampling order is the fixed core order 0..n-1 each cycle, so runs are
+// deterministic. With zero noise and drift the factor is exactly 1 and
+// Perturb is the bit-identity.
+type NoisySensor struct {
+	inj   *fault.SensorInjector
+	drift []float64
+}
+
+// NewNoisySensor creates the sensor bank for n cores. A nil injector
+// returns a nil sensor (callers skip perturbation entirely).
+func NewNoisySensor(n int, inj *fault.SensorInjector) *NoisySensor {
+	if inj == nil {
+		return nil
+	}
+	return &NoisySensor{inj: inj, drift: make([]float64, n)}
+}
+
+// Perturb returns core i's sensor reading for a true per-cycle estimate.
+func (s *NoisySensor) Perturb(core int, est float64) float64 {
+	return est * s.inj.Factor(&s.drift[core])
+}
+
+// Drift returns core i's current drift state (tests).
+func (s *NoisySensor) Drift(core int) float64 { return s.drift[core] }

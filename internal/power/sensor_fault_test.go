@@ -1,0 +1,62 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"ptbsim/internal/fault"
+)
+
+func TestNoisySensorNilInjector(t *testing.T) {
+	if s := NewNoisySensor(4, nil); s != nil {
+		t.Fatal("nil injector must yield a nil sensor so callers skip perturbation")
+	}
+}
+
+// TestNoisySensorZeroRateIdentity: with zero noise and drift the factor is
+// exactly 1 — Perturb is the bit-identity and the drift state never moves.
+func TestNoisySensorZeroRateIdentity(t *testing.T) {
+	s := NewNoisySensor(2, fault.NewInjector(fault.Spec{Seed: 5}).Sensor())
+	for i := 0; i < 100; i++ {
+		est := 123.456 + float64(i)
+		if got := s.Perturb(i%2, est); got != est {
+			t.Fatalf("zero-rate Perturb(%v) = %v", est, got)
+		}
+	}
+	if s.Drift(0) != 0 || s.Drift(1) != 0 {
+		t.Fatalf("zero-rate drift moved: %v, %v", s.Drift(0), s.Drift(1))
+	}
+}
+
+// TestNoisySensorBoundedAndDeterministic: readings stay within the
+// noise+drift envelope, the drift walk stays within its bound, and two
+// sensors built from the same spec produce bit-identical sequences.
+func TestNoisySensorBoundedAndDeterministic(t *testing.T) {
+	spec := fault.Spec{Seed: 9, SensorNoise: 0.05, SensorDrift: 0.02}
+	a := NewNoisySensor(2, fault.NewInjector(spec).Sensor())
+	b := NewNoisySensor(2, fault.NewInjector(spec).Sensor())
+
+	const est = 1000.0
+	bound := est * (1 + spec.SensorNoise + spec.SensorDrift)
+	perturbed := false
+	for i := 0; i < 2000; i++ {
+		core := i % 2
+		ra := a.Perturb(core, est)
+		rb := b.Perturb(core, est)
+		if ra != rb {
+			t.Fatalf("sample %d: same seed diverged: %v vs %v", i, ra, rb)
+		}
+		if ra < est*(1-spec.SensorNoise-spec.SensorDrift) || ra > bound {
+			t.Fatalf("sample %d: reading %v outside envelope around %v", i, ra, est)
+		}
+		if d := math.Abs(a.Drift(core)); d > spec.SensorDrift {
+			t.Fatalf("sample %d: drift %v exceeds bound %v", i, d, spec.SensorDrift)
+		}
+		if ra != est {
+			perturbed = true
+		}
+	}
+	if !perturbed {
+		t.Fatal("noisy sensor never perturbed a reading")
+	}
+}

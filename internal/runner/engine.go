@@ -272,3 +272,65 @@ dispatch:
 	}
 	return results, ctx.Err()
 }
+
+// ForEachAll runs every job through Do on at most Workers goroutines and
+// returns per-slot results and errors in job order. Unlike ForEach, a job
+// error does not cancel the rest of the pool — every job still runs, so
+// callers get every completable result plus the full error picture. Only
+// the caller's context stops the sweep early: slots never dispatched
+// because ctx ended hold ctx.Err() (and the zero value). onDone, when
+// non-nil, fires once per dispatched slot from whichever worker finished
+// it (it must be safe for concurrent use); undispatched slots get no
+// callback.
+func (e *Engine[V]) ForEachAll(ctx context.Context, jobs []Job[V], onDone func(i int, v V, err error)) ([]V, []error) {
+	results := make([]V, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return results, errs
+	}
+
+	e.mu.Lock()
+	workers := e.workers
+	e.mu.Unlock()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := e.Do(ctx, jobs[i].Key, jobs[i].Run)
+				results[i], errs[i] = v, err
+				if onDone != nil {
+					onDone(i, v, err)
+				}
+			}
+		}()
+	}
+	// dispatched is written only here (the dispatching goroutine) and read
+	// only after wg.Wait, so it needs no lock.
+	dispatched := make([]bool, len(jobs))
+dispatch:
+	for i := range jobs {
+		select {
+		case next <- i:
+			dispatched[i] = true
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range jobs {
+			if !dispatched[i] {
+				errs[i] = err
+			}
+		}
+	}
+	return results, errs
+}

@@ -9,6 +9,7 @@ import (
 
 	"ptbsim/internal/core"
 	"ptbsim/internal/cpu"
+	"ptbsim/internal/fault"
 	"ptbsim/internal/mesh"
 	"ptbsim/internal/metrics"
 	"ptbsim/internal/power"
@@ -43,6 +44,11 @@ type Runner struct {
 	// invariant.ErrViolated. Set before the first run — results are cached
 	// per configuration, and the flag is not part of the cache key.
 	CheckInvariants bool
+	// Faults, when non-nil, wires the fault-injection engine into every run
+	// this runner executes (see sim.Config.Faults). Set before the first
+	// run; the spec is part of the cache key, so runners at different fault
+	// rates never share results.
+	Faults *fault.Spec
 	// Progress, when non-nil, receives one line per fresh (uncached) run.
 	Progress io.Writer
 
@@ -98,11 +104,21 @@ func runKey(bench string, cores int, tech Technique, pol core.Policy, relax floa
 	return fmt.Sprintf("%s/%d/%s/%v/%.2f", bench, cores, tech, pol, relax)
 }
 
+// key extends runKey with the runner's fault spec so faulted and clean runs
+// never collide in the cache.
+func (r *Runner) key(bench string, cores int, tech Technique, pol core.Policy, relax float64) string {
+	k := runKey(bench, cores, tech, pol, relax)
+	if r.Faults != nil {
+		k += "/faults=" + r.Faults.String()
+	}
+	return k
+}
+
 // RunContext returns the result of one configuration, simulating it at
 // most once per runner no matter how many goroutines ask concurrently.
 // On cancellation it returns an error wrapping ctx.Err().
 func (r *Runner) RunContext(ctx context.Context, bench string, cores int, tech Technique, pol core.Policy, relax float64) (*metrics.RunResult, error) {
-	return r.eng.Do(ctx, runKey(bench, cores, tech, pol, relax), func(ctx context.Context) (*metrics.RunResult, error) {
+	return r.eng.Do(ctx, r.key(bench, cores, tech, pol, relax), func(ctx context.Context) (*metrics.RunResult, error) {
 		return r.simulate(ctx, bench, cores, tech, pol, relax)
 	})
 }
@@ -125,6 +141,7 @@ func (r *Runner) simulate(ctx context.Context, bench string, cores int, tech Tec
 		WorkloadScale: r.Scale,
 		MaxCycles:     r.MaxCycles,
 		Invariants:    r.CheckInvariants,
+		Faults:        r.Faults,
 	})
 }
 
@@ -146,7 +163,7 @@ func (r *Runner) warmJobs(benches []string, coreCounts []int, relax float64) []r
 	var jobs []runner.Job[*metrics.RunResult]
 	add := func(b string, n int, tech Technique, pol core.Policy, rx float64) {
 		jobs = append(jobs, runner.Job[*metrics.RunResult]{
-			Key: runKey(b, n, tech, pol, rx),
+			Key: r.key(b, n, tech, pol, rx),
 			Run: func(ctx context.Context) (*metrics.RunResult, error) {
 				return r.simulate(ctx, b, n, tech, pol, rx)
 			},

@@ -12,7 +12,9 @@ import (
 	"ptbsim/internal/cache"
 	"ptbsim/internal/core"
 	"ptbsim/internal/cpu"
+	"ptbsim/internal/dvfs"
 	"ptbsim/internal/eventq"
+	"ptbsim/internal/fault"
 	"ptbsim/internal/invariant"
 	"ptbsim/internal/isa"
 	"ptbsim/internal/mesh"
@@ -81,6 +83,14 @@ type Config struct {
 	// scalability scheme for >32-core CMPs).
 	PTBClusterSize int
 
+	// Faults, when non-nil, wires the deterministic fault-injection engine
+	// into the system: token-exchange faults into the PTB balancer, link
+	// faults into the mesh, sensor noise into the budget estimates, and
+	// transition glitches into the DVFS governors. A spec with all rates
+	// zero still routes through the fault-aware code paths and reproduces
+	// the un-faulted run bit for bit (the golden tests rely on this).
+	Faults *fault.Spec
+
 	// Invariants enables the runtime invariant layer: conservation-law and
 	// consistency checks evaluated every InvariantEpoch cycles and once more
 	// at run end. A violation fails the run with an error wrapping
@@ -130,20 +140,22 @@ func (a memAdapter) FetchMiss(core int, addr uint64, done func()) {
 
 // System is one fully wired CMP simulation.
 type System struct {
-	cfg   Config
-	q     *eventq.Queue
-	meter *power.Meter
-	hier  *cache.Hierarchy
-	net   *mesh.Mesh
-	sync  *syncprim.Table
-	cores []*cpu.Core
-	gens  []*workload.Generator
-	st    *budget.ChipState
-	ctl   budget.Controller
-	bal   *core.Balancer // non-nil for TechPTB
-	col   *metrics.Collector
-	therm *thermal.Model
-	inv   *invariant.Checker // nil unless Config.Invariants
+	cfg    Config
+	q      *eventq.Queue
+	meter  *power.Meter
+	hier   *cache.Hierarchy
+	net    *mesh.Mesh
+	sync   *syncprim.Table
+	cores  []*cpu.Core
+	gens   []*workload.Generator
+	st     *budget.ChipState
+	ctl    budget.Controller
+	bal    *core.Balancer // non-nil for TechPTB
+	col    *metrics.Collector
+	therm  *thermal.Model
+	inv    *invariant.Checker // nil unless Config.Invariants
+	faults *fault.Injector    // nil unless Config.Faults
+	sensor *power.NoisySensor // nil unless Config.Faults
 
 	perCore   []float64
 	classes   []isa.SyncClass
@@ -244,6 +256,25 @@ func NewSystem(cfg Config) (*System, error) {
 	s.therm = thermal.New(n, metrics.CycleSeconds)
 	s.perCore = make([]float64, n)
 	s.classes = make([]isa.SyncClass, n)
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		s.faults = fault.NewInjector(*cfg.Faults)
+		s.net.SetFaults(s.faults.Link())
+		s.sensor = power.NewNoisySensor(n, s.faults.Sensor())
+		switch ctl := s.ctl.(type) {
+		case *core.ClusteredBalancer:
+			ctl.SetFaults(s.faults.Token())
+		default:
+			if s.bal != nil {
+				s.bal.SetFaults(s.faults.Token())
+			}
+		}
+		for _, g := range s.governors() {
+			g.SetFaults(s.faults.DVFS())
+		}
+	}
 	if cfg.Invariants {
 		s.inv = invariant.New(cfg.InvariantEpoch)
 		s.registerInvariants()
@@ -322,6 +353,31 @@ func (s *System) registerInvariants() {
 	})
 }
 
+// governors collects the dvfs.Governor instances reachable through the
+// active controller stack. None has no governor, and MaxBIPS applies modes
+// directly without one, so regulator glitches are not modeled for that
+// related-work baseline.
+func (s *System) governors() []*dvfs.Governor {
+	var out []*dvfs.Governor
+	var walk func(c budget.Controller)
+	walk = func(c budget.Controller) {
+		switch ctl := c.(type) {
+		case *budget.DVFSController:
+			out = append(out, ctl.Governor())
+		case *budget.TwoLevel:
+			walk(ctl.DVFS)
+		case *core.Balancer:
+			walk(ctl.Inner())
+		case *core.SpinGate:
+			walk(ctl.Balancer())
+		case *core.ClusteredBalancer:
+			walk(ctl.Inner())
+		}
+	}
+	walk(s.ctl)
+	return out
+}
+
 // GlobalBudgetPJ returns the per-cycle budget in picojoules.
 func (s *System) GlobalBudgetPJ() float64 { return s.cfg.BudgetFrac * s.peakPJ }
 
@@ -372,6 +428,16 @@ func (s *System) Step() {
 		}
 	}
 	s.st.Refresh(s.cycle)
+	if s.sensor != nil {
+		// The controllers read sensors, not ground truth: perturb every
+		// estimate and re-derive the chip total in Refresh's summation order
+		// (so a zero-rate sensor leaves both bit-identical).
+		s.st.ChipEstPJ = 0
+		for i := range s.st.EstPJ {
+			s.st.EstPJ[i] = s.sensor.Perturb(i, s.st.EstPJ[i])
+			s.st.ChipEstPJ += s.st.EstPJ[i]
+		}
+	}
 	s.ctl.Tick(s.st)
 	s.meter.EndCycle(s.perCore)
 	for i := range s.classes {
@@ -477,6 +543,23 @@ func (s *System) result() *metrics.RunResult {
 			rounds += r
 		}
 	}
+	var degraded bool
+	var lostPJ, dupPJ float64
+	var retries, reportsLost, staleCycles, stallCycles, retransmits, glitches, injected int64
+	if s.faults != nil {
+		injected = s.faults.Fired()
+		stallCycles, retransmits = s.net.FaultStats()
+		if s.bal != nil {
+			lostPJ, dupPJ, retries, reportsLost, staleCycles = s.bal.FaultStats()
+			degraded = s.bal.Degraded()
+		} else if cb, ok := s.ctl.(*core.ClusteredBalancer); ok {
+			lostPJ, dupPJ, retries, reportsLost, staleCycles = cb.FaultStats()
+			degraded = cb.Degraded()
+		}
+		for _, g := range s.governors() {
+			glitches += g.Glitches()
+		}
+	}
 	var getS, getX, puts, fwds, invs int64
 	for _, bank := range s.hier.Banks {
 		gs, gx, p, f, iv, _, _ := bank.Stats()
@@ -516,6 +599,17 @@ func (s *System) result() *metrics.RunResult {
 		CohInv:           invs,
 		NoCMessages:      s.net.Messages(),
 		NoCFlits:         s.net.FlitHops(),
+
+		Degraded:            degraded,
+		FaultsInjected:      injected,
+		TokenLostPJ:         lostPJ,
+		TokenDupPJ:          dupPJ,
+		TokenRetries:        retries,
+		TokenReportsLost:    reportsLost,
+		StaleFallbackCycles: staleCycles,
+		NoCStallCycles:      stallCycles,
+		NoCRetransmits:      retransmits,
+		DVFSGlitches:        glitches,
 	}
 }
 

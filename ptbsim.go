@@ -139,6 +139,13 @@ type Config struct {
 	// wrapping ErrInvariantViolation. Disabled runs pay one nil comparison
 	// per simulated cycle.
 	CheckInvariants bool
+	// Faults, when non-nil, injects deterministic faults into the run: PTB
+	// token-message loss/delay/duplication, NoC link stalls and flit
+	// corruption, power-sensor noise and drift, DVFS transition glitches —
+	// see FaultSpec. A nil spec and the zero spec both run the ideal
+	// machine, bit-identically. Faults compose with CheckInvariants: every
+	// conservation invariant keeps holding under injection.
+	Faults *FaultSpec
 }
 
 func (c Config) internal() (sim.Config, error) {
@@ -164,6 +171,10 @@ func (c Config) internal() (sim.Config, error) {
 	if c.PessimisticPTBLatency {
 		lat := core.PessimisticLatency()
 		cfg.PTBLatency = &lat
+	}
+	if c.Faults != nil {
+		spec := c.Faults.internal()
+		cfg.Faults = &spec
 	}
 	return cfg, nil
 }
@@ -235,6 +246,34 @@ type Result struct {
 	// traversals.
 	NoCMessages int64
 	NoCFlits    int64
+
+	// Fault-injection telemetry, all zero when Config.Faults is nil or the
+	// zero spec. None of these fields enter Digest — the digest format is
+	// pinned by the committed golden matrix.
+
+	// Degraded marks a run in which the PTB balancer left ideal operation:
+	// a token batch was lost past the retry bound, or the stale-token
+	// watchdog fell back to a core's static share.
+	Degraded bool
+	// FaultsInjected counts every fault decision that fired, all domains.
+	FaultsInjected int64
+	// TokenLostPJ and TokenDupPJ extend the token ledger under injection:
+	// energy of batches lost past the retry bound, and extra energy from
+	// duplicated batches (conservation becomes donated + dup = granted +
+	// discarded + lost once the run drains).
+	TokenLostPJ float64
+	TokenDupPJ  float64
+	// TokenRetries counts token-batch retransmissions, TokenReportsLost
+	// lost core→balancer report messages, and StaleFallbackCycles the
+	// core-cycles the watchdog spent on the static-share fallback.
+	TokenRetries        int64
+	TokenReportsLost    int64
+	StaleFallbackCycles int64
+	// NoCStallCycles and NoCRetransmits tally injected link faults.
+	NoCStallCycles int64
+	NoCRetransmits int64
+	// DVFSGlitches counts failed DVFS mode transitions.
+	DVFSGlitches int64
 }
 
 func fromMetrics(r *metrics.RunResult) *Result {
@@ -271,6 +310,17 @@ func fromMetrics(r *metrics.RunResult) *Result {
 		CohInv:           r.CohInv,
 		NoCMessages:      r.NoCMessages,
 		NoCFlits:         r.NoCFlits,
+
+		Degraded:            r.Degraded,
+		FaultsInjected:      r.FaultsInjected,
+		TokenLostPJ:         r.TokenLostPJ,
+		TokenDupPJ:          r.TokenDupPJ,
+		TokenRetries:        r.TokenRetries,
+		TokenReportsLost:    r.TokenReportsLost,
+		StaleFallbackCycles: r.StaleFallbackCycles,
+		NoCStallCycles:      r.NoCStallCycles,
+		NoCRetransmits:      r.NoCRetransmits,
+		DVFSGlitches:        r.DVFSGlitches,
 	}
 }
 
