@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check chaos golden bench bench-baseline bench-compare fuzz fmt vet
+.PHONY: all build test test-short race check chaos golden bench bench-baseline bench-compare bench-smoke profile fuzz fmt vet
 
 all: build test
 
@@ -53,6 +53,23 @@ bench-compare:
 	( $(GO) test -run xxx -bench . -benchtime 1x . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkSimStep' -benchtime 3s ./internal/sim/ ) \
 	| $(GO) run ./cmd/ptbbench -compare BENCH_baseline.json
+
+# The CI regression gate, runnable locally: the hot-loop benchmarks plus
+# one figure benchmark against the committed baseline, failing on any
+# regression beyond 15%.
+bench-smoke:
+	( $(GO) test -run xxx -bench 'BenchmarkSimStep' -benchtime 3s ./internal/sim/ ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFig9PolicySweep' -benchtime 1x . ) \
+	| $(GO) run ./cmd/ptbbench -compare BENCH_baseline.json -fail-over 15
+
+# CPU- and heap-profile a representative full run. Every cmd tool takes
+# -cpuprofile/-memprofile/-trace (internal/prof), so the same recipe
+# works for ptbsweep, ptbreport, ptbchaos, ... See EXPERIMENTS.md
+# "Profiling a run" for reading the output.
+profile:
+	$(GO) run ./cmd/ptbsim -bench ocean -cores 4 -tech ptb -scale 0.25 -nobase \
+		-cpuprofile cpu.out -memprofile mem.out
+	$(GO) tool pprof -top -nodecount 15 cpu.out
 
 # Short exploratory fuzz of the parsing/validation surfaces (seed corpora
 # under testdata/fuzz/ run on every plain `go test`).

@@ -32,6 +32,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"ptbsim/internal/prof"
 )
 
 // Bench is one parsed benchmark result.
@@ -116,9 +118,20 @@ func main() {
 	save := flag.String("save", "", "write parsed stdin as a JSON baseline to this path")
 	compare := flag.String("compare", "", "compare parsed stdin against this JSON baseline")
 	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression in -compare mode")
+	failOver := flag.Float64("fail-over", -1,
+		"CI gate mode: fail when any benchmark regresses more than this many percent (overrides -tol)")
+	profFlags := prof.Register(nil)
 	flag.Parse()
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProf()
 	if (*save == "") == (*compare == "") {
 		fail("exactly one of -save or -compare is required")
+	}
+	if *failOver >= 0 {
+		*tol = *failOver / 100
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -188,6 +201,7 @@ func main() {
 	fmt.Printf("compared %d benchmarks, %d regression(s) beyond %.0f%%\n",
 		compared, regressions, *tol*100)
 	if regressions > 0 {
+		stopProf()
 		os.Exit(1)
 	}
 }

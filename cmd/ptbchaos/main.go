@@ -47,6 +47,7 @@ import (
 	"syscall"
 
 	"ptbsim"
+	"ptbsim/internal/prof"
 )
 
 func main() {
@@ -63,7 +64,14 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 		outPath  = flag.String("o", "", "output file (default stdout)")
 	)
+	profFlags := prof.Register(nil)
 	flag.Parse()
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	pol, err := ptbsim.ParsePolicy(*policy)
 	if err != nil {
@@ -175,6 +183,7 @@ func main() {
 	}
 	if *assert && !monotone {
 		fmt.Fprintln(os.Stderr, "ptbchaos: energy-accuracy error is not monotone in the token-drop rate")
+		stopProf()
 		os.Exit(1)
 	}
 }

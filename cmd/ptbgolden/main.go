@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"ptbsim"
+	"ptbsim/internal/prof"
 )
 
 func main() {
@@ -41,7 +42,14 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
 		outPath = flag.String("o", "", "output file (default stdout)")
 	)
+	profFlags := prof.Register(nil)
 	flag.Parse()
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

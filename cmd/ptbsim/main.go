@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"ptbsim"
+	"ptbsim/internal/prof"
 )
 
 func main() {
@@ -39,7 +40,14 @@ func main() {
 		listAll = flag.Bool("list", false, "list benchmarks and exit")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON")
 	)
+	profFlags := prof.Register(nil)
 	flag.Parse()
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *listAll {
 		fmt.Printf("%-9s %-14s %s\n", "SUITE", "BENCHMARK", "INPUT")

@@ -32,6 +32,7 @@ import (
 
 	"ptbsim/internal/core"
 	"ptbsim/internal/fault"
+	"ptbsim/internal/prof"
 	"ptbsim/internal/sim"
 )
 
@@ -59,7 +60,14 @@ func main() {
 		faults  = flag.String("faults", "", "fault-injection spec applied to every run, e.g. seed=42,drop=0.25")
 		outPath = flag.String("o", "", "write output to this file instead of stdout (for go:generate)")
 	)
+	profFlags := prof.Register(nil)
 	flag.Parse()
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

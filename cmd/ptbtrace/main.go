@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"ptbsim"
+	"ptbsim/internal/prof"
 )
 
 func main() {
@@ -32,7 +33,14 @@ func main() {
 		check  = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
 		faults = flag.String("faults", "", "fault-injection spec, e.g. seed=42,noise=0.05")
 	)
+	profFlags := prof.Register(nil)
 	flag.Parse()
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	var spec *ptbsim.FaultSpec
 	if *faults != "" {

@@ -111,6 +111,9 @@ type Balancer struct {
 	wireQuanta int
 
 	flights []flight
+	// needy is the scratch list distribute rebuilds each round, kept across
+	// cycles so the per-cycle balancing path allocates nothing.
+	needy []int
 
 	detector *PowerPatternDetector
 	// detectorMask, when set, suppresses detector updates for masked
@@ -357,10 +360,16 @@ func (b *Balancer) chipOver(st *budget.ChipState) bool {
 // until the retry bound, then written off as lost.
 func (b *Balancer) land(st *budget.ChipState) {
 	if b.faults == nil {
-		for len(b.flights) > 0 && b.flights[0].arriveAt <= st.Cycle {
-			f := b.flights[0]
-			b.flights = b.flights[1:]
-			b.distribute(st, f.total)
+		n := 0
+		for n < len(b.flights) && b.flights[n].arriveAt <= st.Cycle {
+			b.distribute(st, b.flights[n].total)
+			n++
+		}
+		if n > 0 {
+			// Compact in place instead of reslicing so the backing array is
+			// reused forever (collect appends after land each cycle).
+			rest := copy(b.flights, b.flights[n:])
+			b.flights = b.flights[:rest]
 		}
 		return
 	}
@@ -518,12 +527,13 @@ func (b *Balancer) dynamicPolicy(st *budget.ChipState) Policy {
 // exactly at budget, and a stale core cannot have donated this cycle, so it
 // is never needy.
 func (b *Balancer) needyCores(st *budget.ChipState) []int {
-	var out []int
+	out := b.needy[:0]
 	for i := 0; i < st.NCores; i++ {
 		if b.est(st, i) > st.LocalBudgetPJ[i]-st.DonatedPJ[i] {
 			out = append(out, i)
 		}
 	}
+	b.needy = out
 	return out
 }
 

@@ -199,9 +199,15 @@ type Core struct {
 	lsqCount int
 	storeBuf int
 
-	fetchPipe    []fetchedInst
+	// Fetch pipe: a fixed ring of fetchPipeCap entries so the steady state
+	// never reslices or reallocates. fpHead is the oldest entry; fpLen the
+	// occupancy.
+	fpBuf        []fetchedInst
+	fpHead       int
+	fpLen        int
 	fetchPipeCap int
-	pendingInst  *isa.Inst
+	pendingInst  isa.Inst // instruction parked across an I-miss
+	hasPending   bool
 	curFetchLine uint64
 	icacheBusy   bool
 	fetchStalled bool // waiting for a serializing inst to commit
@@ -222,7 +228,55 @@ type Core struct {
 	fetchedTokens int
 	tokenRate     float64
 
+	// storeDrain is the store-buffer release callback, built once at New so
+	// commit doesn't allocate a closure per retiring store.
+	storeDrain func()
+	// fetchFill completes the single outstanding I-miss (fetch stalls while
+	// icacheBusy, so one pending PC suffices); built once at New.
+	fetchFill   func()
+	fetchFillPC uint64
+	// cbFree pools load/atomic completion callbacks; each record carries a
+	// closure built once, so issuing memory operations never allocates in
+	// the steady state.
+	cbFree *memCB
+
 	stats Stats
+}
+
+// memCB is a pooled completion callback for loads and atomics.
+type memCB struct {
+	c    *Core
+	seq  int64
+	rmw  bool
+	fn   func()
+	next *memCB
+}
+
+// memCallback leases a pooled callback bound to (seq, rmw).
+func (c *Core) memCallback(seq int64, rmw bool) func() {
+	cb := c.cbFree
+	if cb != nil {
+		c.cbFree = cb.next
+		cb.next = nil
+	} else {
+		cb = &memCB{c: c}
+		cb.fn = func() { cb.c.memDone(cb) }
+	}
+	cb.seq, cb.rmw = seq, rmw
+	return cb.fn
+}
+
+// memDone returns the record to the pool, then completes the operation (in
+// that order, so a completion that issues another memory op can reuse it).
+func (c *Core) memDone(cb *memCB) {
+	seq, rmw := cb.seq, cb.rmw
+	cb.next = c.cbFree
+	c.cbFree = cb
+	if rmw {
+		c.rmwDone(seq)
+	} else {
+		c.loadDone(seq)
+	}
 }
 
 // New creates a core wired to its memory system, sync evaluator and
@@ -248,7 +302,13 @@ func New(id int, cfg Config, meter *power.Meter, tm *power.TokenModel, mem MemSy
 	c.fuFree = [numFUClasses]int{cfg.NumIntAlu, cfg.NumIntMul, cfg.NumFPAlu, cfg.NumFPMul}
 	c.fuLat = [numFUClasses]int64{int64(cfg.LatIntAlu), int64(cfg.LatIntMul), int64(cfg.LatFPAlu), int64(cfg.LatFPMul)}
 	c.fetchPipeCap = cfg.FrontendDepth * cfg.FetchWidth
+	c.fpBuf = make([]fetchedInst, c.fetchPipeCap)
 	c.curFetchLine = ^uint64(0)
+	c.storeDrain = func() { c.storeBuf-- }
+	c.fetchFill = func() {
+		c.icacheBusy = false
+		c.curFetchLine = c.fetchFillPC &^ 63
+	}
 	return c
 }
 
@@ -282,8 +342,8 @@ func (c *Core) Speed() float64 { return c.freq }
 
 // Done reports whether the thread finished and the pipeline fully drained.
 func (c *Core) Done() bool {
-	return c.srcDone && c.count == 0 && len(c.fetchPipe) == 0 &&
-		c.storeBuf == 0 && c.pendingInst == nil
+	return c.srcDone && c.count == 0 && c.fpLen == 0 &&
+		c.storeBuf == 0 && !c.hasPending
 }
 
 // FetchedTokens returns the PTHT token estimate of the instructions fetched
@@ -319,8 +379,8 @@ func (c *Core) CheckOccupancy() error {
 		return fmt.Errorf("cpu: core %d LSQ occupancy %d outside [0, %d]", c.id, c.lsqCount, c.cfg.LSQSize)
 	case c.storeBuf < 0 || c.storeBuf > c.cfg.StoreBufSize:
 		return fmt.Errorf("cpu: core %d store buffer %d outside [0, %d]", c.id, c.storeBuf, c.cfg.StoreBufSize)
-	case len(c.fetchPipe) > c.fetchPipeCap:
-		return fmt.Errorf("cpu: core %d fetch pipe %d over capacity %d", c.id, len(c.fetchPipe), c.fetchPipeCap)
+	case c.fpLen < 0 || c.fpLen > c.fetchPipeCap:
+		return fmt.Errorf("cpu: core %d fetch pipe %d over capacity %d", c.id, c.fpLen, c.fetchPipeCap)
 	}
 	return nil
 }

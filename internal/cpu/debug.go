@@ -11,9 +11,9 @@ func (c *Core) DebugString() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "core %d: tick=%d rob=%d/%d headSeq=%d lsq=%d storeBuf=%d readyQ=%d inflight=%d pipe=%d\n",
 		c.id, c.tick, c.count, len(c.rob), c.headSeq, c.lsqCount, c.storeBuf,
-		len(c.readyQ), len(c.inflight), len(c.fetchPipe))
+		len(c.readyQ), len(c.inflight), c.fpLen)
 	fmt.Fprintf(&b, "  flags: srcDone=%v fetchStalled=%v icacheBusy=%v wrongPath=%v pendingInst=%v stallTicks=%d freq=%.2f gate=%v\n",
-		c.srcDone, c.fetchStalled, c.icacheBusy, c.wrongPath, c.pendingInst != nil, c.stallTicks, c.freq, c.knobs.FetchGate)
+		c.srcDone, c.fetchStalled, c.icacheBusy, c.wrongPath, c.hasPending, c.stallTicks, c.freq, c.knobs.FetchGate)
 	if c.count > 0 {
 		e := &c.rob[c.head]
 		fmt.Fprintf(&b, "  head: seq=%d op=%v pc=%#x addr=%#x state=%d syncOp=%d serialize=%v pendingDeps=%d doneTick=%d\n",

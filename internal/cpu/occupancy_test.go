@@ -52,9 +52,8 @@ func TestCheckOccupancyDetectsCorruption(t *testing.T) {
 		{"lsq-negative", func(c *Core) { c.lsqCount = -3 }, "LSQ occupancy"},
 		{"storebuf-over", func(c *Core) { c.storeBuf = c.cfg.StoreBufSize + 1 }, "store buffer"},
 		{"storebuf-negative", func(c *Core) { c.storeBuf = -1 }, "store buffer"},
-		{"fetchpipe-over", func(c *Core) {
-			c.fetchPipe = make([]fetchedInst, c.fetchPipeCap+1)
-		}, "fetch pipe"},
+		{"fetchpipe-over", func(c *Core) { c.fpLen = c.fetchPipeCap + 1 }, "fetch pipe"},
+		{"fetchpipe-negative", func(c *Core) { c.fpLen = -1 }, "fetch pipe"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -26,8 +26,7 @@ func (c *Core) commit() int {
 				break // store buffer full: retry next cycle
 			}
 			c.storeBuf++
-			addr := inst.Addr
-			c.mem.Write(c.id, addr, func() { c.storeBuf-- })
+			c.mem.Write(c.id, inst.Addr, c.storeDrain)
 		}
 		if inst.Op.IsMem() {
 			c.lsqCount--
@@ -46,7 +45,7 @@ func (c *Core) commit() int {
 			c.fetchStalled = false
 		}
 
-		e.waiters = nil
+		e.waiters = e.waiters[:0]
 		c.head = (c.head + 1) % len(c.rob)
 		c.headSeq++
 		c.count--
@@ -104,7 +103,7 @@ func (c *Core) finish(e *robEntry) {
 			c.pushReady(w)
 		}
 	}
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
 }
 
 func (c *Core) pushReady(seq int64) {
@@ -146,8 +145,7 @@ func (c *Core) tryIssue(e *robEntry) bool {
 		c.issueCommon(e, fuIntAlu, false) // AGU energy, no FU slot held
 		e.state = stExecuting
 		c.stats.LoadCount++
-		seq := e.seq
-		c.mem.Read(c.id, inst.Addr, func() { c.loadDone(seq) })
+		c.mem.Read(c.id, inst.Addr, c.memCallback(e.seq, false))
 		return true
 	case isa.OpStore:
 		// Address generation only; data is written at commit.
@@ -167,8 +165,7 @@ func (c *Core) tryIssue(e *robEntry) bool {
 		c.issueCommon(e, fuIntAlu, false)
 		e.state = stExecuting
 		c.stats.RMWCount++
-		seq := e.seq
-		c.mem.Write(c.id, inst.Addr, func() { c.rmwDone(seq) })
+		c.mem.Write(c.id, inst.Addr, c.memCallback(e.seq, true))
 		return true
 	default:
 		cls := fuClassOf(inst.Op)
@@ -251,26 +248,33 @@ func (c *Core) rmwDone(seq int64) {
 func (c *Core) dispatch() int {
 	width := c.effWidth(c.knobs.DecodeWidth, c.cfg.DecodeWidth)
 	n := 0
-	for n < width && len(c.fetchPipe) > 0 && c.count < len(c.rob) {
-		f := c.fetchPipe[0]
+	for n < width && c.fpLen > 0 && c.count < len(c.rob) {
+		f := c.fpBuf[c.fpHead]
 		if f.readyTick > c.tick {
 			break
 		}
 		if f.inst.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize {
 			break
 		}
-		c.fetchPipe = c.fetchPipe[1:]
+		c.fpHead++
+		if c.fpHead == len(c.fpBuf) {
+			c.fpHead = 0
+		}
+		c.fpLen--
 
 		seq := c.nextSeq
 		c.nextSeq++
 		idx := (c.head + c.count) % len(c.rob)
 		c.count++
 		e := &c.rob[idx]
+		// Keep the entry's waiters backing array across reuse.
+		w := e.waiters[:0]
 		*e = robEntry{
 			inst:         f.inst,
 			seq:          seq,
 			state:        stWaiting,
 			predicted:    f.predicted,
+			waiters:      w,
 			dispatchTick: c.tick,
 			fuClass:      -1,
 		}
@@ -312,7 +316,7 @@ func (c *Core) dispatch() int {
 // fetch consumes the instruction source, modeling I-cache access, branch
 // prediction, serialize stalls and wrong-path phantom fetch.
 func (c *Core) fetch() int {
-	if c.srcDone && c.pendingInst == nil {
+	if c.srcDone && !c.hasPending {
 		return 0
 	}
 	if c.knobs.FetchGate {
@@ -331,7 +335,7 @@ func (c *Core) fetch() int {
 		// instructions (they would be squashed at resolution). The fetch
 		// queue bounds the damage — once it would be full of wrong-path
 		// instructions the front end stalls, as in a real machine.
-		if c.wrongPathBuf >= c.fetchPipeCap-len(c.fetchPipe) {
+		if c.wrongPathBuf >= c.fetchPipeCap-c.fpLen {
 			return 0
 		}
 		c.wrongPathBuf += width
@@ -343,7 +347,7 @@ func (c *Core) fetch() int {
 	}
 
 	n := 0
-	for n < width && len(c.fetchPipe) < c.fetchPipeCap {
+	for n < width && c.fpLen < c.fetchPipeCap {
 		inst, ok := c.nextInst()
 		if !ok {
 			break
@@ -353,13 +357,10 @@ func (c *Core) fetch() int {
 			if !c.mem.FetchProbe(c.id, inst.PC) {
 				// I-miss: stall fetch until the fill arrives.
 				c.icacheBusy = true
-				saved := inst
-				c.pendingInst = &saved
-				pc := inst.PC
-				c.mem.FetchMiss(c.id, pc, func() {
-					c.icacheBusy = false
-					c.curFetchLine = pc &^ 63
-				})
+				c.pendingInst = inst
+				c.hasPending = true
+				c.fetchFillPC = inst.PC
+				c.mem.FetchMiss(c.id, inst.PC, c.fetchFill)
 				break
 			}
 			c.curFetchLine = line
@@ -372,11 +373,16 @@ func (c *Core) fetch() int {
 		if inst.Op == isa.OpBranch {
 			predicted = c.bp.predict(inst.PC)
 		}
-		c.fetchPipe = append(c.fetchPipe, fetchedInst{
+		tail := c.fpHead + c.fpLen
+		if tail >= len(c.fpBuf) {
+			tail -= len(c.fpBuf)
+		}
+		c.fpBuf[tail] = fetchedInst{
 			inst:      inst,
 			predicted: predicted,
 			readyTick: c.tick + int64(c.cfg.FrontendDepth),
-		})
+		}
+		c.fpLen++
 		n++
 
 		if inst.Serialize {
@@ -394,10 +400,9 @@ func (c *Core) fetch() int {
 // nextInst returns the pending instruction left over from an I-miss, or
 // pulls the next one from the source.
 func (c *Core) nextInst() (isa.Inst, bool) {
-	if c.pendingInst != nil {
-		inst := *c.pendingInst
-		c.pendingInst = nil
-		return inst, true
+	if c.hasPending {
+		c.hasPending = false
+		return c.pendingInst, true
 	}
 	if c.srcDone {
 		return isa.Inst{}, false

@@ -1,0 +1,240 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"ptbsim/internal/isa"
+	"ptbsim/internal/power"
+)
+
+// mixedStream builds a deterministic workload that drives the core through
+// every quiescence class: long-latency loads (memory stalls), dependent ALU
+// chains, stores (store-buffer drain), mispredicting branches (wrong-path
+// phantom fetch), long-latency FP, and serializing atomics (fetch stalls).
+func mixedStream(n int) []isa.Inst {
+	insts := make([]isa.Inst, 0, n)
+	for i := 0; len(insts) < n; i++ {
+		pc := uint64(0x4000 + len(insts)*4)
+		switch i % 11 {
+		case 0:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpLoad, Addr: uint64(0xA000 + i*64)})
+		case 1:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpIntAlu, Dep1: 1})
+		case 2:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpStore, Addr: uint64(0xB000 + i*64)})
+		case 3:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpBranch, Taken: i%3 == 0})
+		case 4:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpFPMul, LongLat: i%5 == 0, Dep1: 2})
+		case 5:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpAtomicRMW, Addr: 0xC000,
+				Serialize: true, SyncOp: isa.SyncLockTry})
+		default:
+			insts = append(insts, isa.Inst{PC: pc, Op: isa.OpIntAlu})
+		}
+	}
+	return insts
+}
+
+// runRig drives a rig to completion. When useFast is true it runs the
+// simulator's skip-ahead protocol: each cycle, consult NextWake before
+// delivering events; if the core is provably quiescent and no event is due,
+// replay the cycle with TickInert instead of Tick. Returns the completion
+// cycle and how many cycles took the fast path.
+func runRig(t *testing.T, r *testRig, useFast bool, limit int64) (int64, int64) {
+	t.Helper()
+	fastCycles := int64(0)
+	for cyc := int64(1); cyc <= limit; cyc++ {
+		fast := false
+		if useFast {
+			delta, _ := r.core.NextWake()
+			fast = delta > 0 && r.q.NextDue() > cyc
+		}
+		r.q.RunUntil(cyc)
+		if fast {
+			r.core.TickInert()
+			fastCycles++
+		} else {
+			r.core.Tick()
+		}
+		if r.core.Done() && r.q.Empty() {
+			return cyc, fastCycles
+		}
+	}
+	t.Fatalf("core did not finish within %d cycles (committed %d)\n%s",
+		limit, r.core.Stats().Committed, r.core.DebugString())
+	return limit, fastCycles
+}
+
+// TestTickInertMatchesTick is the core-level soundness proof backing the
+// simulator's skip-ahead: over a workload exercising every stall class, the
+// fast-path run must be bit-identical to the plain run — same completion
+// cycle, same counters, same per-kind energy and event counts, same token
+// rate — while actually taking the fast path a meaningful fraction of the
+// time.
+func TestTickInertMatchesTick(t *testing.T) {
+	insts := mixedStream(4000)
+
+	slow := newTestRig(insts)
+	slow.mem.loadLat = 60
+	slow.mem.storeLat = 40
+	slowEnd, _ := runRig(t, slow, false, 400000)
+
+	fastRig := newTestRig(insts)
+	fastRig.mem.loadLat = 60
+	fastRig.mem.storeLat = 40
+	fastEnd, fastCycles := runRig(t, fastRig, true, 400000)
+
+	if slowEnd != fastEnd {
+		t.Fatalf("completion cycle diverged: slow=%d fast=%d", slowEnd, fastEnd)
+	}
+	if fastCycles == 0 {
+		t.Fatal("fast path never taken: the test exercises nothing")
+	}
+	if slow.core.stats != fastRig.core.stats {
+		t.Fatalf("stats diverged:\nslow %+v\nfast %+v", slow.core.stats, fastRig.core.stats)
+	}
+	if math.Float64bits(slow.core.tokenRate) != math.Float64bits(fastRig.core.tokenRate) {
+		t.Fatalf("tokenRate diverged: slow=%x fast=%x",
+			math.Float64bits(slow.core.tokenRate), math.Float64bits(fastRig.core.tokenRate))
+	}
+	for k := 0; k < power.NumEventKinds; k++ {
+		kind := power.EventKind(k)
+		if slow.m.Count(0, kind) != fastRig.m.Count(0, kind) {
+			t.Errorf("event %v count diverged: slow=%d fast=%d",
+				kind, slow.m.Count(0, kind), fastRig.m.Count(0, kind))
+		}
+		sp, fp := slow.m.KindPJ(0, kind), fastRig.m.KindPJ(0, kind)
+		if math.Float64bits(sp) != math.Float64bits(fp) {
+			t.Errorf("event %v energy diverged: slow=%x fast=%x",
+				kind, math.Float64bits(sp), math.Float64bits(fp))
+		}
+	}
+	t.Logf("fast path covered %d/%d cycles (%.0f%%)",
+		fastCycles, fastEnd, 100*float64(fastCycles)/float64(fastEnd))
+}
+
+// TestTickInertMatchesTickThrottled repeats the equivalence under frequency
+// scaling and DVFS transition stalls, which route through the throttle and
+// transition branches of NextWake/TickInert.
+func TestTickInertMatchesTickThrottled(t *testing.T) {
+	insts := mixedStream(1500)
+
+	run := func(useFast bool) (*testRig, int64) {
+		r := newTestRig(insts)
+		r.mem.loadLat = 30
+		fastCycles := int64(0)
+		speeds := []float64{1, 0.5, 0.25, 0.75, 1}
+		for cyc := int64(1); cyc <= 400000; cyc++ {
+			if cyc%1000 == 0 {
+				r.core.SetSpeed(speeds[(cyc/1000)%int64(len(speeds))], 10)
+			}
+			fast := false
+			if useFast {
+				delta, _ := r.core.NextWake()
+				fast = delta > 0 && r.q.NextDue() > cyc
+			}
+			r.q.RunUntil(cyc)
+			if fast {
+				r.core.TickInert()
+				fastCycles++
+			} else {
+				r.core.Tick()
+			}
+			if r.core.Done() && r.q.Empty() {
+				return r, fastCycles
+			}
+		}
+		t.Fatalf("throttled core did not finish\n%s", r.core.DebugString())
+		return nil, 0
+	}
+
+	slow, _ := run(false)
+	fast, fastCycles := run(true)
+	if fastCycles == 0 {
+		t.Fatal("fast path never taken under throttling")
+	}
+	if slow.core.stats != fast.core.stats {
+		t.Fatalf("stats diverged under throttling:\nslow %+v\nfast %+v", slow.core.stats, fast.core.stats)
+	}
+	if slow.m.TotalPJ(0) != fast.m.TotalPJ(0) {
+		t.Fatalf("energy diverged under throttling: slow=%v fast=%v", slow.m.TotalPJ(0), fast.m.TotalPJ(0))
+	}
+}
+
+// TestNextWakeReasons pins the classifier's reason codes for each
+// quiescence class.
+func TestNextWakeReasons(t *testing.T) {
+	// Done core.
+	r := newTestRig(aluStream(4, 0))
+	r.runUntilDone(t, 1000)
+	if d, reason := r.core.NextWake(); reason != WakeDone || d != WakeNever {
+		t.Fatalf("done core: delta=%d reason=%v, want WakeNever/done", d, reason)
+	}
+
+	// Sleep-gated core.
+	r = newTestRig(aluStream(64, 0))
+	r.core.Knobs().SleepGate = true
+	if d, reason := r.core.NextWake(); reason != WakeSleep || d != 1 {
+		t.Fatalf("sleeping core: delta=%d reason=%v, want 1/sleep", d, reason)
+	}
+	r.core.Knobs().SleepGate = false
+
+	// Frequency-throttled core: freq 0.25 skips 3 of 4 global cycles.
+	r.core.SetSpeed(0.25, 0)
+	if d, reason := r.core.NextWake(); reason != WakeThrottle || d != 1 {
+		t.Fatalf("throttled core: delta=%d reason=%v, want 1/throttle", d, reason)
+	}
+
+	// DVFS transition stall.
+	r = newTestRig(aluStream(64, 0))
+	r.core.SetSpeed(0.5, 7)
+	r.core.SetSpeed(1, 7) // freq changed twice: 14 stall ticks pending
+	if d, reason := r.core.NextWake(); reason != WakeTransition || d != 14 {
+		t.Fatalf("transitioning core: delta=%d reason=%v, want 14/transition", d, reason)
+	}
+
+	// An active core with work available must be conservative.
+	r = newTestRig(aluStream(64, 0))
+	if d, reason := r.core.NextWake(); reason != WakeNow || d != 0 {
+		t.Fatalf("active core: delta=%d reason=%v, want 0/now", d, reason)
+	}
+}
+
+// TestNextWakeConservative verifies the "unknown → wake now" default the
+// hard way: whenever NextWake reports quiescence, a normal Tick from a
+// cloned notion of the same cycle must behave exactly like TickInert. The
+// mixed workload makes this sweep every stall class the classifier handles.
+func TestNextWakeConservative(t *testing.T) {
+	r := newTestRig(mixedStream(2000))
+	r.mem.loadLat = 45
+	checked := 0
+	for cyc := int64(1); cyc <= 400000; cyc++ {
+		delta, reason := r.core.NextWake()
+		if delta < 0 {
+			t.Fatalf("cycle %d: negative wake delta %d (%v)", cyc, delta, reason)
+		}
+		fast := delta > 0 && r.q.NextDue() > cyc
+		r.q.RunUntil(cyc)
+		if fast {
+			// The claim under test: Tick on a quiescent cycle does not step
+			// the pipeline (TickInert equivalence is covered bitwise above;
+			// here we assert Tick agrees the cycle was inert).
+			before := r.core.stats.Committed
+			stepped := r.core.Tick()
+			if stepped && r.core.stats.Committed != before {
+				t.Fatalf("cycle %d: NextWake said quiescent (%v) but Tick committed work", cyc, reason)
+			}
+			checked++
+		} else {
+			r.core.Tick()
+		}
+		if r.core.Done() && r.q.Empty() {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no quiescent cycles observed")
+	}
+}

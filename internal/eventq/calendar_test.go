@@ -1,0 +1,244 @@
+package eventq
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+)
+
+// refEvent/refHeap re-implement the pre-calendar container/heap queue as the
+// ordering oracle: (cycle, scheduling seq) min-heap, past clamped to now.
+type refEvent struct {
+	cycle int64
+	seq   uint64
+	fn    func()
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type refQueue struct {
+	h   refHeap
+	seq uint64
+	now int64
+}
+
+func (q *refQueue) At(cycle int64, fn func()) {
+	if cycle < q.now {
+		cycle = q.now
+	}
+	q.seq++
+	heap.Push(&q.h, &refEvent{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+func (q *refQueue) After(delay int64, fn func()) { q.At(q.now+delay, fn) }
+
+func (q *refQueue) RunUntil(cycle int64) {
+	if cycle < q.now {
+		return
+	}
+	for len(q.h) > 0 && q.h[0].cycle <= cycle {
+		e := heap.Pop(&q.h).(*refEvent)
+		q.now = e.cycle
+		e.fn()
+	}
+	q.now = cycle
+}
+
+func (q *refQueue) Empty() bool { return len(q.h) == 0 }
+
+// schedOp is one step of a generated schedule: delay cycles after the current
+// queue time, schedule an event; every few ops, advance the clock.
+type schedOp struct {
+	Delay   uint16 // scheduling delay; %1500 spans past, near and >wheelSize
+	Advance uint8  // clock advance after scheduling (0 = stay)
+	Cascade uint8  // the handler reschedules Cascade%3 children at Delay/4
+}
+
+// runSchedule feeds ops to a queue through the common At/After/RunUntil
+// subset and returns the order event ids executed in.
+func runSchedule(ops []schedOp, at func(int64, func()), runUntil func(int64), now func() int64) []int {
+	var order []int
+	id := 0
+	var schedule func(delay int64, cascade int)
+	schedule = func(delay int64, cascade int) {
+		myID := id
+		id++
+		at(now()+delay, func() {
+			order = append(order, myID)
+			for i := 0; i < cascade; i++ {
+				schedule(delay/4, 0)
+			}
+		})
+	}
+	for _, op := range ops {
+		// Negative offsets exercise the past-clamp path.
+		delay := int64(op.Delay%1500) - 8
+		schedule(delay, int(op.Cascade%3))
+		if adv := int64(op.Advance % 64); adv > 0 {
+			runUntil(now() + adv)
+		}
+	}
+	// Drain exactly the way sim.go's quiescent-MOESI final check does:
+	// fixed 1024-cycle hops until the queue empties.
+	end := now()
+	for i := 0; i < 64; i++ {
+		end += 1024
+		runUntil(end)
+	}
+	return order
+}
+
+// TestPropertyCalendarMatchesHeap is the order-equivalence property: for any
+// generated schedule — including cascades, past clamps, >wheelSize delays and
+// the 1024-cycle drain pattern — the calendar queue executes events in
+// exactly the old heap's order (cycle order, FIFO within a cycle).
+func TestPropertyCalendarMatchesHeap(t *testing.T) {
+	f := func(ops []schedOp) bool {
+		var cal Queue
+		var ref refQueue
+		got := runSchedule(ops, cal.At, cal.RunUntil, cal.Now)
+		want := runSchedule(ops, ref.At, ref.RunUntil, func() int64 { return ref.now })
+		if !cal.Empty() || !ref.Empty() {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAtArgMatchesAt pins that AtArg interleaves with At in strict
+// scheduling order within a cycle.
+func TestPropertyAtArgMatchesAt(t *testing.T) {
+	var q Queue
+	var order []int
+	record := func(a any) { order = append(order, a.(int)) }
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			q.AtArg(10, record, i)
+		} else {
+			i := i
+			q.At(10, func() { order = append(order, i) })
+		}
+	}
+	q.RunUntil(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("AtArg/At interleaving broke FIFO: %v", order)
+		}
+	}
+}
+
+// TestNextDue pins the skip-ahead gate's view of the queue.
+func TestNextDue(t *testing.T) {
+	var q Queue
+	if q.NextDue() <= 1<<62 {
+		t.Fatalf("empty queue NextDue = %d, want +inf", q.NextDue())
+	}
+	q.At(40, func() {})
+	q.At(7, func() {})
+	if q.NextDue() != 7 {
+		t.Fatalf("NextDue = %d, want 7", q.NextDue())
+	}
+	q.RunUntil(7)
+	if q.NextDue() != 40 {
+		t.Fatalf("NextDue after draining 7 = %d, want 40", q.NextDue())
+	}
+	q.RunUntil(39)
+	if q.NextDue() != 40 {
+		t.Fatalf("NextDue must survive empty advances, got %d", q.NextDue())
+	}
+	q.RunUntil(40)
+	if q.NextDue() <= 1<<62 {
+		t.Fatalf("drained queue NextDue = %d, want +inf", q.NextDue())
+	}
+}
+
+// TestFarEventsBeyondWheel exercises bucket sharing across revolutions: a
+// near and a far event in the same bucket, and a queue whose only events sit
+// several revolutions out (the findNextDue fallback).
+func TestFarEventsBeyondWheel(t *testing.T) {
+	var q Queue
+	var order []int64
+	mark := func(c int64) func() { return func() { order = append(order, c) } }
+	q.At(3+4*wheelSize, mark(3+4*wheelSize)) // same bucket as cycle 3
+	q.At(3, mark(3))
+	q.At(2*wheelSize+1, mark(2*wheelSize+1))
+	q.RunUntil(3)
+	if q.NextDue() != 2*wheelSize+1 {
+		t.Fatalf("NextDue across revolutions = %d, want %d", q.NextDue(), 2*wheelSize+1)
+	}
+	q.RunUntil(8 * wheelSize)
+	want := []int64{3, 2*wheelSize + 1, 3 + 4*wheelSize}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+// TestQueueZeroAllocSteadyState pins the free-list: once warm, At and
+// RunUntil allocate nothing. This is half of the ISSUE-4 zero-alloc
+// acceptance criterion (System.Step is the other half, in internal/sim).
+func TestQueueZeroAllocSteadyState(t *testing.T) {
+	var q Queue
+	nop := func() {}
+	var end int64
+	// Warm the free list and the bucket array.
+	for i := 0; i < 64; i++ {
+		q.At(q.Now()+int64(i%13), nop)
+	}
+	q.RunUntil(32)
+	end = 32
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.At(end+5, nop)
+		q.At(end+2, nop)
+		end++
+		q.RunUntil(end)
+	})
+	q.RunUntil(end + 1000)
+	if allocs != 0 {
+		t.Fatalf("steady-state At/RunUntil allocates %.1f objects per cycle, want 0", allocs)
+	}
+
+	argFn := func(any) {}
+	arg := &struct{}{}
+	allocs = testing.AllocsPerRun(1000, func() {
+		q.AtArg(end+3, argFn, arg)
+		end++
+		q.RunUntil(end)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AtArg/RunUntil allocates %.1f objects per cycle, want 0", allocs)
+	}
+}

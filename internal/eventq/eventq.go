@@ -1,71 +1,135 @@
 // Package eventq provides the discrete-event scheduler used by the uncore
 // (caches, directory, mesh, memory). Cores are stepped every cycle, but
-// uncore activity is sparse, so an event heap keeps long-latency messages
+// uncore activity is sparse, so a calendar queue keeps long-latency messages
 // cheap to simulate.
 //
 // Events scheduled for the same cycle run in FIFO order of scheduling, which
-// keeps the simulation deterministic regardless of heap internals.
+// keeps the simulation deterministic regardless of queue internals.
+//
+// The queue is a single-width calendar: wheelSize one-cycle buckets indexed
+// by cycle modulo wheelSize, each holding a list sorted by cycle (FIFO within
+// a cycle falls out of inserting after equal-cycle neighbors). Events more
+// than one revolution ahead share buckets with near events and are simply
+// skipped by the in-window scan. Spent events go to a free list, so the
+// steady state allocates nothing, and NextDue is O(1), which is what lets
+// the simulator's idle skip-ahead gate on "no event due this cycle" for free.
 package eventq
 
-import "container/heap"
+import (
+	"math"
+	"math/bits"
+)
 
-// Event is a callback scheduled to run at a simulation cycle.
+const (
+	wheelBits = 10
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// Event is a callback scheduled to run at a simulation cycle. Exactly one of
+// fn and fnArg is set; fnArg carries its argument in the event itself so
+// callers on hot paths can schedule without allocating a closure.
 type Event struct {
 	cycle int64
-	seq   uint64
 	fn    func()
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	fnArg func(any)
+	arg   any
+	next  *Event
 }
 
 // Queue is a deterministic discrete-event queue. The zero value is ready to
 // use.
 type Queue struct {
-	h   eventHeap
-	seq uint64
-	now int64
+	// buckets[c & wheelMask] chains the pending events of cycle c, sorted by
+	// cycle, FIFO within a cycle.
+	buckets []*Event
+	// occupied is one bit per bucket, for skipping empty buckets in bulk.
+	occupied [wheelSize / 64]uint64
+
+	count   int
+	now     int64
+	nextDue int64 // earliest pending cycle; only meaningful when count > 0
+
+	free *Event
 }
 
 // Now returns the cycle most recently passed to RunUntil (the current
 // simulation time from the queue's perspective).
 func (q *Queue) Now() int64 { return q.now }
 
+// NextDue returns the earliest cycle at which an event is pending, or
+// math.MaxInt64 when the queue is empty. The simulator's skip-ahead uses it
+// to prove a cycle has no uncore activity.
+func (q *Queue) NextDue() int64 {
+	if q.count == 0 {
+		return math.MaxInt64
+	}
+	return q.nextDue
+}
+
 // At schedules fn to run at the given absolute cycle. Scheduling in the past
 // (before the last RunUntil cycle) runs the event at the current cycle
 // instead; this can only happen through a zero/negative delay and is safe.
 func (q *Queue) At(cycle int64, fn func()) {
-	if cycle < q.now {
-		cycle = q.now
-	}
-	q.seq++
-	heap.Push(&q.h, &Event{cycle: cycle, seq: q.seq, fn: fn})
+	e := q.alloc()
+	e.fn = fn
+	q.insert(cycle, e)
+}
+
+// AtArg schedules fn(arg) at the given absolute cycle, with the same
+// past-clamping as At. The argument rides in the event, so a caller holding
+// a static fn schedules without a closure allocation.
+func (q *Queue) AtArg(cycle int64, fn func(any), arg any) {
+	e := q.alloc()
+	e.fnArg = fn
+	e.arg = arg
+	q.insert(cycle, e)
 }
 
 // After schedules fn to run delay cycles after the current cycle.
 func (q *Queue) After(delay int64, fn func()) {
 	q.At(q.now+delay, fn)
+}
+
+func (q *Queue) alloc() *Event {
+	if e := q.free; e != nil {
+		q.free = e.next
+		e.next = nil
+		return e
+	}
+	return &Event{}
+}
+
+func (q *Queue) recycle(e *Event) {
+	e.fn = nil
+	e.fnArg = nil
+	e.arg = nil
+	e.next = q.free
+	q.free = e
+}
+
+func (q *Queue) insert(cycle int64, e *Event) {
+	if q.buckets == nil {
+		q.buckets = make([]*Event, wheelSize)
+	}
+	if cycle < q.now {
+		cycle = q.now
+	}
+	e.cycle = cycle
+	idx := int(cycle & wheelMask)
+	// Insert after every event with cycle <= e.cycle: cycle order across
+	// revolutions, FIFO within a cycle.
+	p := &q.buckets[idx]
+	for *p != nil && (*p).cycle <= cycle {
+		p = &(*p).next
+	}
+	e.next = *p
+	*p = e
+	q.occupied[idx>>6] |= 1 << (uint(idx) & 63)
+	q.count++
+	if q.count == 1 || cycle < q.nextDue {
+		q.nextDue = cycle
+	}
 }
 
 // RunUntil executes, in order, every event scheduled at or before cycle.
@@ -76,16 +140,88 @@ func (q *Queue) RunUntil(cycle int64) {
 	if cycle < q.now {
 		return
 	}
-	for len(q.h) > 0 && q.h[0].cycle <= cycle {
-		e := heap.Pop(&q.h).(*Event)
-		q.now = e.cycle
-		e.fn()
+	for q.count > 0 && q.nextDue <= cycle {
+		cy := q.nextDue
+		q.now = cy
+		idx := int(cy & wheelMask)
+		// Drain every event of cycle cy. Handlers may schedule more events
+		// at cy (including via past-clamping); they land behind the current
+		// ones in this same bucket and this loop picks them up in FIFO order.
+		for {
+			e := q.buckets[idx]
+			if e == nil || e.cycle != cy {
+				break
+			}
+			q.buckets[idx] = e.next
+			q.count--
+			fn, fnArg, arg := e.fn, e.fnArg, e.arg
+			q.recycle(e)
+			if fnArg != nil {
+				fnArg(arg)
+			} else {
+				fn()
+			}
+		}
+		if q.buckets[idx] == nil {
+			q.occupied[idx>>6] &^= 1 << (uint(idx) & 63)
+		}
+		if q.count == 0 {
+			break
+		}
+		q.nextDue = q.findNextDue(cy + 1)
 	}
 	q.now = cycle
 }
 
+// findNextDue locates the earliest pending cycle >= from. One revolution of
+// the wheel starting at from's bucket visits candidate cycles in increasing
+// order (one cycle per bucket within [from, from+wheelSize)); a bucket whose
+// head lies inside that window holds exactly the window's representative
+// cycle, which is then the minimum. If every pending event is more than a
+// revolution out, fall back to the global minimum over occupied buckets.
+func (q *Queue) findNextDue(from int64) int64 {
+	start := int(from & wheelMask)
+	limit := from + wheelSize
+	for idx := q.nextOccupied(start); idx >= 0; idx = q.nextOccupied(idx + 1) {
+		if c := q.buckets[idx].cycle; c < limit {
+			return c
+		}
+	}
+	for idx := q.nextOccupied(0); idx >= 0 && idx < start; idx = q.nextOccupied(idx + 1) {
+		if c := q.buckets[idx].cycle; c < limit {
+			return c
+		}
+	}
+	min := int64(math.MaxInt64)
+	for idx := q.nextOccupied(0); idx >= 0; idx = q.nextOccupied(idx + 1) {
+		if c := q.buckets[idx].cycle; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// nextOccupied returns the first occupied bucket index >= start (no wrap),
+// or -1 when none remains.
+func (q *Queue) nextOccupied(start int) int {
+	if start >= wheelSize {
+		return -1
+	}
+	w := start >> 6
+	word := q.occupied[w] >> (uint(start) & 63)
+	if word != 0 {
+		return start + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(q.occupied); w++ {
+		if q.occupied[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(q.occupied[w])
+		}
+	}
+	return -1
+}
+
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.h) }
+func (q *Queue) Len() int { return q.count }
 
 // Empty reports whether no events are pending.
-func (q *Queue) Empty() bool { return len(q.h) == 0 }
+func (q *Queue) Empty() bool { return q.count == 0 }

@@ -65,6 +65,51 @@ type Mesh struct {
 	faults      *fault.LinkInjector
 	stallCycles int64
 	retransmits int64
+
+	// freeMsg recycles hopMsg records so routing allocates nothing in the
+	// steady state.
+	freeMsg *hopMsg
+}
+
+// hopMsg carries an in-flight message's routing state through the event
+// queue. One record travels with the message across all its hops (via
+// Queue.AtArg and the static runHop), replacing a closure allocation per
+// hop.
+type hopMsg struct {
+	m       *Mesh
+	cur     int // node the message occupies when its event fires
+	dst     int
+	flits   int
+	payload any
+	next    *hopMsg // free-list link
+}
+
+// runHop is the single event-queue trampoline for all mesh traffic.
+func runHop(a any) {
+	h := a.(*hopMsg)
+	m := h.m
+	if h.cur == h.dst {
+		dst, payload := h.dst, h.payload
+		m.recycleMsg(h)
+		m.handlers[dst](payload)
+		return
+	}
+	m.hop(h)
+}
+
+func (m *Mesh) allocMsg() *hopMsg {
+	if h := m.freeMsg; h != nil {
+		m.freeMsg = h.next
+		h.next = nil
+		return h
+	}
+	return &hopMsg{m: m}
+}
+
+func (m *Mesh) recycleMsg(h *hopMsg) {
+	h.payload = nil
+	h.next = m.freeMsg
+	m.freeMsg = h
 }
 
 // Dims returns the width and height of the mesh for n nodes, preferring the
@@ -198,16 +243,21 @@ func (m *Mesh) Send(src, dst, flits int, payload any) {
 		panic(fmt.Sprintf("mesh: no handler registered for node %d", dst))
 	}
 	m.messages++
+	h := m.allocMsg()
+	h.cur, h.dst, h.flits, h.payload = src, dst, flits, payload
 	if src == dst {
-		m.q.After(m.routerDelay, func() { m.handlers[dst](payload) })
+		// Local delivery pays only the router delay; runHop sees cur == dst
+		// and delivers directly.
+		m.q.AtArg(m.q.Now()+m.routerDelay, runHop, h)
 		return
 	}
-	m.hop(src, dst, flits, payload)
+	m.hop(h)
 }
 
 // hop advances the message one link toward dst, modeling serialization and
-// link contention, then either recurses or delivers.
-func (m *Mesh) hop(cur, dst, flits int, payload any) {
+// link contention, then schedules the next leg (or the delivery) via runHop.
+func (m *Mesh) hop(h *hopMsg) {
+	cur, dst, flits := h.cur, h.dst, h.flits
 	next, dir := m.nextHop(cur, dst)
 	li := m.linkIndex(cur, dir)
 	now := m.q.Now()
@@ -239,13 +289,8 @@ func (m *Mesh) hop(cur, dst, flits int, payload any) {
 	m.meter.Add(m.tileFor(next), power.EvNoCRouter, linkFlits)
 	m.flitHops += int64(linkFlits)
 
-	m.q.At(arrive, func() {
-		if next == dst {
-			m.handlers[dst](payload)
-		} else {
-			m.hop(next, dst, flits, payload)
-		}
-	})
+	h.cur = next
+	m.q.AtArg(arrive, runHop, h)
 }
 
 // tileFor maps a node to the core index charged for its energy. Nodes and

@@ -30,11 +30,13 @@ type Meter struct {
 	totalEnergy []float64 // pJ accumulated since reset, per core
 
 	// byKind tracks total energy per event kind per core (pJ), for detailed
-	// reports and for the spinlock-power metric.
-	byKind [][]float64
+	// reports and for the spinlock-power metric. Flat [core*NumEventKinds+k]
+	// layout: Add is the hottest call in the simulator and the flat array
+	// saves an indirection per event.
+	byKind []float64
 
-	// counts tracks total event counts per kind per core.
-	counts [][]int64
+	// counts tracks total event counts per kind per core (same layout).
+	counts []int64
 }
 
 // NewMeter returns a meter for nCores core tiles at nominal voltage.
@@ -45,14 +47,12 @@ func NewMeter(nCores int) *Meter {
 		vScaleLeak:  make([]float64, nCores),
 		cycleEnergy: make([]float64, nCores),
 		totalEnergy: make([]float64, nCores),
-		byKind:      make([][]float64, nCores),
-		counts:      make([][]int64, nCores),
+		byKind:      make([]float64, nCores*NumEventKinds),
+		counts:      make([]int64, nCores*NumEventKinds),
 	}
 	for i := 0; i < nCores; i++ {
 		m.vScaleSq[i] = 1
 		m.vScaleLeak[i] = 1
-		m.byKind[i] = make([]float64, NumEventKinds)
-		m.counts[i] = make([]int64, NumEventKinds)
 	}
 	return m
 }
@@ -82,8 +82,9 @@ func (m *Meter) Add(core int, k EventKind, n int) {
 		e = EnergyPJ[k] * float64(n) * m.vScaleSq[core]
 	}
 	m.cycleEnergy[core] += e
-	m.byKind[core][k] += e
-	m.counts[core][k] += int64(n)
+	idx := core*NumEventKinds + int(k)
+	m.byKind[idx] += e
+	m.counts[idx] += int64(n)
 }
 
 // EndCycle finishes the current cycle. It writes each core's cycle energy
@@ -115,10 +116,14 @@ func (m *Meter) ChipTotalPJ() float64 {
 }
 
 // KindPJ returns the total energy consumed by events of kind k on core.
-func (m *Meter) KindPJ(core int, k EventKind) float64 { return m.byKind[core][k] }
+func (m *Meter) KindPJ(core int, k EventKind) float64 {
+	return m.byKind[core*NumEventKinds+int(k)]
+}
 
 // Count returns the number of events of kind k posted on core.
-func (m *Meter) Count(core int, k EventKind) int64 { return m.counts[core][k] }
+func (m *Meter) Count(core int, k EventKind) int64 {
+	return m.counts[core*NumEventKinds+int(k)]
+}
 
 // CheckConsistency verifies the meter's energy-accounting identity: every
 // picojoule in a core's running total is attributed to exactly one event
@@ -130,7 +135,7 @@ func (m *Meter) CheckConsistency() error {
 	for i := 0; i < m.nCores; i++ {
 		var kindSum float64
 		for k := 0; k < NumEventKinds; k++ {
-			kindSum += m.byKind[i][k]
+			kindSum += m.byKind[i*NumEventKinds+k]
 		}
 		// cycleEnergy holds the current cycle's not-yet-folded events; the
 		// identity covers totalEnergy + the in-progress cycle.

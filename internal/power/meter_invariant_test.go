@@ -37,7 +37,7 @@ func TestCheckConsistencyDetectsSkew(t *testing.T) {
 		corrupt func(m *Meter)
 	}{
 		{"total-inflated", func(m *Meter) { m.totalEnergy[0] += 7 }},
-		{"kind-lost", func(m *Meter) { m.byKind[1][EvFetch] -= 3 }},
+		{"kind-lost", func(m *Meter) { m.byKind[1*NumEventKinds+int(EvFetch)] -= 3 }},
 		{"cycle-skewed", func(m *Meter) { m.cycleEnergy[0] += 2 }},
 	}
 	for _, tc := range cases {

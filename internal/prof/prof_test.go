@@ -1,0 +1,54 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterAndStart(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	tr := filepath.Join(dir, "trace.out")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem, "-trace", tr}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = filepath.Join(dir, "spin") // some work for the profiler to see
+	}
+	stop()
+	stop() // idempotent
+	for _, p := range []string{cpu, mem, tr} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartNoFlagsIsNoOp(t *testing.T) {
+	f := &Flags{}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+func TestStartBadPathFails(t *testing.T) {
+	f := &Flags{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}
+	if _, err := f.Start(); err == nil {
+		t.Fatal("Start succeeded with an unwritable CPU profile path")
+	}
+}

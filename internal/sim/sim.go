@@ -161,10 +161,12 @@ type System struct {
 	classes   []isa.SyncClass
 	coreTrace []float64
 
-	cycle   int64
-	peakPJ  float64
-	hitMax  bool
-	stopped bool
+	cycle      int64
+	peakPJ     float64
+	hitMax     bool
+	stopped    bool
+	fastOff    bool  // test hook: force every cycle down the full-tick path
+	fastCycles int64 // cycles advanced via the inert fast path
 }
 
 // NewSystem builds a system from the config.
@@ -413,12 +415,46 @@ func (s *System) done() bool {
 	return true
 }
 
+// FastCycles reports how many cycles were advanced through the idle
+// skip-ahead fast path (diagnostics; not part of any digest).
+func (s *System) FastCycles() int64 { return s.fastCycles }
+
+// coresQuiescent reports whether every core proves its next tick inert.
+func (s *System) coresQuiescent() bool {
+	for _, c := range s.cores {
+		if d, _ := c.NextWake(); d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Step advances the simulation by exactly one global cycle.
+//
+// The idle skip-ahead: when no event is due this cycle and every core
+// reports a provably inert tick (cpu.NextWake > 0), the per-core pipeline
+// walk is replaced by cpu.TickInert — an exact replay of what Tick would
+// have done on a quiescent cycle. Everything after the core loop (leakage,
+// budget refresh, sensor perturbation, controller tick, meter fold,
+// collector/thermal recording, invariants) runs identically on both paths,
+// so a fast cycle is bit-for-bit the same as a full one; the golden-digest
+// matrix enforces this. The gate re-evaluates every cycle, which is what
+// keeps it sound against controllers flipping knobs mid-window and against
+// event callbacks waking a pipeline: any such change flows into the next
+// cycle's NextWake/NextDue before another fast tick can happen.
 func (s *System) Step() {
 	s.cycle++
+	fast := !s.fastOff && s.q.NextDue() > s.cycle && s.coresQuiescent()
 	s.q.RunUntil(s.cycle)
-	for _, c := range s.cores {
-		c.Tick()
+	if fast {
+		s.fastCycles++
+		for _, c := range s.cores {
+			c.TickInert()
+		}
+	} else {
+		for _, c := range s.cores {
+			c.Tick()
+		}
 	}
 	for i, c := range s.cores {
 		if c.Knobs().SleepGate {
