@@ -78,6 +78,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzParsePolicy -fuzztime 30s .
 	$(GO) test -run xxx -fuzz FuzzConfigValidate -fuzztime 30s .
 	$(GO) test -run xxx -fuzz FuzzParseFaultSpec -fuzztime 30s .
+	$(GO) test -run xxx -fuzz FuzzParseTelemetrySpec -fuzztime 30s .
 
 fmt:
 	gofmt -l -w .

@@ -109,6 +109,20 @@ func checkInvariantOverhead(bs map[string]Bench) (pct float64, ok bool) {
 	return (on.NsPerOp/off.NsPerOp - 1) * 100, true
 }
 
+// checkTelemetryOverhead does the same single-run comparison for the
+// observability layer (DESIGN.md §11): BenchmarkSimStepTelemetry samples
+// at the default epoch, so the pair bounds what an attached recorder
+// costs on top of the bare step loop. Returns ok=false when the pair is
+// absent.
+func checkTelemetryOverhead(bs map[string]Bench) (pct float64, ok bool) {
+	off, okOff := bs["BenchmarkSimStep"]
+	on, okOn := bs["BenchmarkSimStepTelemetry"]
+	if !okOff || !okOn || off.NsPerOp == 0 {
+		return 0, false
+	}
+	return (on.NsPerOp/off.NsPerOp - 1) * 100, true
+}
+
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ptbbench: "+format+"\n", args...)
 	os.Exit(1)
@@ -145,6 +159,9 @@ func main() {
 	}
 	if pct, ok := checkInvariantOverhead(benches); ok {
 		fmt.Printf("invariant layer step overhead (enabled vs disabled): %+.2f%%\n", pct)
+	}
+	if pct, ok := checkTelemetryOverhead(benches); ok {
+		fmt.Printf("telemetry layer step overhead (sampling vs off): %+.2f%%\n", pct)
 	}
 
 	if *save != "" {

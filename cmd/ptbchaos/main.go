@@ -55,7 +55,6 @@ func main() {
 		bench    = flag.String("bench", "ocean", "benchmark name")
 		coresCSV = flag.String("cores", "2,4,8", "comma-separated core counts")
 		ratesCSV = flag.String("rates", "0,0.25,0.75", "comma-separated token-drop rates in [0, 1]")
-		policy   = flag.String("policy", "dynamic", "PTB policy: "+strings.Join(ptbsim.PolicyNames(), ", "))
 		scale    = flag.Float64("scale", 0.25, "workload scale (1.0 = Table 2 size)")
 		seed     = flag.Uint64("seed", 1, "fault-injection seed")
 		par      = flag.Int("par", runtime.NumCPU(), "parallel simulations")
@@ -64,6 +63,10 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 		outPath  = flag.String("o", "", "output file (default stdout)")
 	)
+	pol := ptbsim.Dynamic
+	flag.Var(&pol, "policy", "PTB policy: "+strings.Join(ptbsim.PolicyNames(), ", "))
+	var telemetry ptbsim.TelemetryFlag
+	flag.Var(&telemetry, "telemetry", "stream epoch telemetry from every run into one merged feed, e.g. every=2048,out=chaos.jsonl")
 	profFlags := prof.Register(nil)
 	flag.Parse()
 	stopProf, err := profFlags.Start()
@@ -73,11 +76,6 @@ func main() {
 	}
 	defer stopProf()
 
-	pol, err := ptbsim.ParsePolicy(*policy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 	cores, err := parseInts(*coresCSV)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bad -cores:", err)
@@ -119,6 +117,19 @@ func main() {
 	}
 	if *check {
 		opts = append(opts, ptbsim.WithInvariants())
+	}
+	if telemetry.Spec != nil {
+		tel, closeTel, err := telemetry.Spec.Start()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts = append(opts, ptbsim.WithObserver(tel.Every, tel.Observer), ptbsim.WithObserverRing(tel.Ring))
+		defer func() {
+			if err := closeTel(); err != nil {
+				fmt.Fprintln(os.Stderr, "ptbchaos: telemetry:", err)
+			}
+		}()
 	}
 	if !*quiet {
 		opts = append(opts, ptbsim.WithProgress(func(p ptbsim.Progress) {

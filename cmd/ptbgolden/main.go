@@ -38,10 +38,13 @@ func main() {
 		cores   = flag.Int("cores", 4, "CMP size for the matrix")
 		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations (output is identical at any value)")
 		check   = flag.Bool("check", true, "enable runtime invariant checks on every run")
-		faults  = flag.String("faults", "", "fault-injection spec applied to every run (a zero-rate spec must reproduce the committed baseline byte-for-byte)")
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
 		outPath = flag.String("o", "", "output file (default stdout)")
 	)
+	var faults ptbsim.FaultSpecFlag
+	flag.Var(&faults, "faults", "fault-injection spec applied to every run (a zero-rate spec must reproduce the committed baseline byte-for-byte)")
+	var telemetry ptbsim.TelemetryFlag
+	flag.Var(&telemetry, "telemetry", "stream epoch telemetry from every run, e.g. every=2048,out=golden.jsonl (digests are identical with or without it)")
 	profFlags := prof.Register(nil)
 	flag.Parse()
 	stopProf, err := profFlags.Start()
@@ -76,12 +79,21 @@ func main() {
 	if *check {
 		opts = append(opts, ptbsim.WithInvariants())
 	}
-	if *faults != "" {
-		spec, err := ptbsim.ParseFaultSpec(*faults)
+	if faults.Spec != nil {
+		opts = append(opts, ptbsim.WithFaults(*faults.Spec))
+	}
+	if telemetry.Spec != nil {
+		tel, closeTel, err := telemetry.Spec.Start()
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
-		opts = append(opts, ptbsim.WithFaults(spec))
+		opts = append(opts, ptbsim.WithObserver(tel.Every, tel.Observer), ptbsim.WithObserverRing(tel.Ring))
+		defer func() {
+			if err := closeTel(); err != nil {
+				fmt.Fprintln(os.Stderr, "ptbgolden: telemetry:", err)
+			}
+		}()
 	}
 	if !*quiet {
 		opts = append(opts, ptbsim.WithProgress(func(p ptbsim.Progress) {

@@ -28,18 +28,26 @@ func main() {
 	var (
 		bench   = flag.String("bench", "ocean", "benchmark name (see -list)")
 		cores   = flag.Int("cores", 4, "number of cores (2, 4, 8, 16)")
-		tech    = flag.String("tech", "ptb", "technique: "+strings.Join(ptbsim.TechniqueNames(), ", "))
-		policy  = flag.String("policy", "dynamic", "PTB policy: "+strings.Join(ptbsim.PolicyNames(), ", "))
 		relax   = flag.Float64("relax", 0, "relaxed trigger threshold (e.g. 0.2 = +20%)")
 		budget  = flag.Float64("budget", 0.5, "global budget as a fraction of rated peak")
 		scale   = flag.Float64("scale", 1.0, "workload scale (1.0 = Table 2 size)")
 		noBase  = flag.Bool("nobase", false, "skip the base-case run and normalization")
 		pessim  = flag.Bool("pessimistic", false, "use the 10-cycle PTB latency")
 		check   = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
-		faults  = flag.String("faults", "", "fault-injection spec, e.g. seed=42,drop=0.25,noise=0.02 (keys: seed, drop, delay, dup, delaycycles, stale, retries, backoff, stall, stallcycles, corrupt, noise, drift, glitch)")
 		listAll = flag.Bool("list", false, "list benchmarks and exit")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON")
 	)
+	// The typed flag.Values validate at parse time through the library's
+	// parsers, so unknown names fail loudly with the canonical errors
+	// instead of silently defaulting.
+	tech := ptbsim.PTB
+	flag.Var(&tech, "tech", "technique: "+strings.Join(ptbsim.TechniqueNames(), ", "))
+	policy := ptbsim.Dynamic
+	flag.Var(&policy, "policy", "PTB policy: "+strings.Join(ptbsim.PolicyNames(), ", "))
+	var faults ptbsim.FaultSpecFlag
+	flag.Var(&faults, "faults", "fault-injection spec, e.g. seed=42,drop=0.25,noise=0.02 (keys: seed, drop, delay, dup, delaycycles, stale, retries, backoff, stall, stallcycles, corrupt, noise, drift, glitch)")
+	var telemetry ptbsim.TelemetryFlag
+	flag.Var(&telemetry, "telemetry", "stream epoch telemetry, e.g. every=2048,out=run.jsonl (keys: every, ring, out, format)")
 	profFlags := prof.Register(nil)
 	flag.Parse()
 	stopProf, err := profFlags.Start()
@@ -57,37 +65,30 @@ func main() {
 		return
 	}
 
-	// Unknown names fail loudly through the typed parse errors instead of
-	// silently defaulting.
-	tq, err := ptbsim.ParseTechnique(*tech)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	pol, err := ptbsim.ParsePolicy(*policy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
 	cfg := ptbsim.Config{
 		Benchmark:             *bench,
 		Cores:                 *cores,
-		Technique:             tq,
-		Policy:                pol,
+		Technique:             tech,
+		Policy:                policy,
 		RelaxFrac:             *relax,
 		BudgetFrac:            *budget,
 		WorkloadScale:         *scale,
 		PessimisticPTBLatency: *pessim,
 		CheckInvariants:       *check,
+		Faults:                faults.Spec,
 	}
-	if *faults != "" {
-		spec, err := ptbsim.ParseFaultSpec(*faults)
+	if telemetry.Spec != nil {
+		tel, closeTel, err := telemetry.Spec.Start()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		cfg.Faults = &spec
+		cfg.Observe = tel
+		defer func() {
+			if err := closeTel(); err != nil {
+				fmt.Fprintln(os.Stderr, "ptbsim: telemetry:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -111,6 +112,7 @@ func main() {
 	if !*noBase && cfg.Technique != ptbsim.None {
 		baseCfg := cfg
 		baseCfg.Technique = ptbsim.None
+		baseCfg.Observe = nil // the telemetry feed covers the headline run
 		base, err := ptbsim.RunContext(ctx, baseCfg)
 		if err != nil {
 			fail(err)

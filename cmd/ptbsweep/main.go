@@ -30,8 +30,10 @@ import (
 	"strings"
 	"syscall"
 
+	"ptbsim"
 	"ptbsim/internal/core"
 	"ptbsim/internal/fault"
+	"ptbsim/internal/obs"
 	"ptbsim/internal/prof"
 	"ptbsim/internal/sim"
 )
@@ -57,9 +59,12 @@ func main() {
 		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations (1 = serial; output is identical at any value)")
 		format  = flag.String("format", "text", "output format: text, md, csv")
 		check   = flag.Bool("check", false, "enable runtime invariant checks on every run (fails on any violation)")
-		faults  = flag.String("faults", "", "fault-injection spec applied to every run, e.g. seed=42,drop=0.25")
 		outPath = flag.String("o", "", "write output to this file instead of stdout (for go:generate)")
 	)
+	var faults fault.Flag
+	flag.Var(&faults, "faults", "fault-injection spec applied to every run, e.g. seed=42,drop=0.25")
+	var telemetry ptbsim.TelemetryFlag
+	flag.Var(&telemetry, "telemetry", "stream epoch telemetry from every run into one merged feed, e.g. every=2048,out=sweep.jsonl")
 	profFlags := prof.Register(nil)
 	flag.Parse()
 	stopProf, err := profFlags.Start()
@@ -106,13 +111,21 @@ func main() {
 	r.Bind(ctx)
 	r.SetParallelism(*par)
 	r.CheckInvariants = *check
-	if *faults != "" {
-		spec, err := fault.Parse(*faults)
+	r.Faults = faults.Spec
+	if telemetry.Spec != nil {
+		tel, closeTel, err := telemetry.Spec.Start()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		r.Faults = &spec
+		// Runs execute in parallel, so the shared sink is serialized into
+		// one merged feed; the per-sample run tags keep it unambiguous.
+		r.Observe = &obs.Config{Every: tel.Every, Ring: tel.Ring, Sink: obs.Synchronized(tel.Observer)}
+		defer func() {
+			if err := closeTel(); err != nil {
+				fmt.Fprintln(os.Stderr, "ptbsweep: telemetry:", err)
+			}
+		}()
 	}
 	if !*quiet {
 		r.Progress = os.Stderr

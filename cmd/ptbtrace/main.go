@@ -26,13 +26,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig5", "trace: fig5 (chip power vs budget), fig6 (spinning core)")
-		scale  = flag.Float64("scale", 0.15, "workload scale")
-		csv    = flag.Bool("csv", false, "emit CSV samples instead of an ASCII chart")
-		width  = flag.Int("width", 100, "chart columns")
-		check  = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
-		faults = flag.String("faults", "", "fault-injection spec, e.g. seed=42,noise=0.05")
+		exp   = flag.String("exp", "fig5", "trace: fig5 (chip power vs budget), fig6 (spinning core)")
+		scale = flag.Float64("scale", 0.15, "workload scale")
+		csv   = flag.Bool("csv", false, "emit CSV samples instead of an ASCII chart")
+		width = flag.Int("width", 100, "chart columns")
+		check = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
 	)
+	var faults ptbsim.FaultSpecFlag
+	flag.Var(&faults, "faults", "fault-injection spec, e.g. seed=42,noise=0.05")
 	profFlags := prof.Register(nil)
 	flag.Parse()
 	stopProf, err := profFlags.Start()
@@ -42,16 +43,6 @@ func main() {
 	}
 	defer stopProf()
 
-	var spec *ptbsim.FaultSpec
-	if *faults != "" {
-		s, err := ptbsim.ParseFaultSpec(*faults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		spec = &s
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -60,35 +51,35 @@ func main() {
 	var title string
 	switch *exp {
 	case "fig5":
-		tr, err := ptbsim.RunTraceContext(ctx, ptbsim.Config{
+		chip, _, budgetPJ, err := tracePower(ctx, ptbsim.Config{
 			Benchmark:       "ocean",
 			Cores:           4,
 			Technique:       ptbsim.None,
 			WorkloadScale:   *scale,
 			MaxCycles:       20_000_000,
 			CheckInvariants: *check,
-			Faults:          spec,
+			Faults:          faults.Spec,
 		}, 50, -1)
 		if err != nil {
 			fail(err)
 		}
-		trace, budget = tr.ChipTrace, tr.GlobalBudgetPJ
+		trace, budget = chip, budgetPJ
 		title = "Figure 5 — per-cycle CMP power vs the global power budget (4-core ocean)"
 	case "fig6":
-		tr, err := ptbsim.RunTraceContext(ctx, ptbsim.Config{
+		_, coreTrace, budgetPJ, err := tracePower(ctx, ptbsim.Config{
 			Benchmark:       "raytrace",
 			Cores:           4,
 			Technique:       ptbsim.None,
 			WorkloadScale:   *scale,
 			MaxCycles:       20_000_000,
 			CheckInvariants: *check,
-			Faults:          spec,
+			Faults:          faults.Spec,
 		}, 10, 2)
 		if err != nil {
 			fail(err)
 		}
 		// A core's local budget is the global budget split evenly.
-		trace, budget = tr.CoreTrace, tr.GlobalBudgetPJ/4
+		trace, budget = coreTrace, budgetPJ/4
 		title = "Figure 6 — per-cycle power of a core contending for a lock (raytrace)"
 	default:
 		fmt.Fprintf(os.Stderr, "unknown trace %q\n", *exp)
@@ -104,6 +95,29 @@ func main() {
 	}
 	fmt.Println(title)
 	chart(trace, budget, *width)
+}
+
+// tracePower runs cfg with a MemoryObserver sampling every `every` cycles
+// and flattens the telemetry into the chip power trace and, when core >= 0,
+// that core's per-cycle power trace (both pJ at the sampled cycle). The
+// partial tail sample is skipped to match the figures' fixed-period grids.
+func tracePower(ctx context.Context, cfg ptbsim.Config, every int64, core int) (chip, coreTrace []float64, budgetPJ float64, err error) {
+	mo := &ptbsim.MemoryObserver{}
+	cfg.Observe = &ptbsim.Telemetry{Every: every, Ring: 1, Observer: mo}
+	res, err := ptbsim.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, s := range mo.Samples() {
+		if s.Partial {
+			continue
+		}
+		chip = append(chip, s.ChipPJ)
+		if core >= 0 && core < len(s.CorePJ) {
+			coreTrace = append(coreTrace, s.CorePJ[core])
+		}
+	}
+	return chip, coreTrace, res.BudgetPJ, nil
 }
 
 func fail(err error) {

@@ -15,6 +15,23 @@ import (
 // and ParseFaultSpec error; branch with errors.Is.
 var ErrBadFaultSpec = fault.ErrBadSpec
 
+// ErrBadTelemetrySpec is the sentinel wrapped by every ParseTelemetrySpec,
+// TelemetrySpec and Telemetry validation error; branch with errors.Is.
+var ErrBadTelemetrySpec = errors.New("invalid telemetry spec")
+
+// Canonical ErrBad* aliases: the flag parsers (ParseTechnique, ParsePolicy,
+// ParseFaultSpec, ParseTelemetrySpec) all report errors of one shape —
+// "ptbsim: <what is wrong> (valid: …)" wrapping an ErrBad* sentinel — and
+// these aliases let callers branch on that family uniformly. They are the
+// same error values as the older ErrUnknown* names, so existing errors.Is
+// checks keep working.
+var (
+	// ErrBadTechnique aliases ErrUnknownTechnique.
+	ErrBadTechnique = ErrUnknownTechnique
+	// ErrBadPolicy aliases ErrUnknownPolicy.
+	ErrBadPolicy = ErrUnknownPolicy
+)
+
 // ErrRunDeadline marks a run that exceeded the experiment's per-run
 // deadline (WithRunTimeout). Deadline misses are treated as transient:
 // the experiment retries them with exponential backoff up to WithRetries
@@ -147,6 +164,11 @@ func (c Config) Validate() error {
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Observe != nil {
+		if err := c.Observe.validate(); err != nil {
 			return err
 		}
 	}

@@ -45,6 +45,10 @@ type Experiment struct {
 	retries     int
 	backoff     time.Duration
 	progress    func(Progress)
+	observer    Observer
+	obsEvery    int64
+	obsRing     int
+	telemetry   *Telemetry // shared serialized Telemetry built from observer
 
 	eng *runner.Engine[*Result]
 
@@ -124,6 +128,30 @@ func WithProgress(fn func(Progress)) Option {
 	return func(e *Experiment) { e.progress = fn }
 }
 
+// WithObserver streams epoch telemetry from every run the experiment
+// executes into o, sampling every `every` cycles (0 = the default period):
+// the sweep-level merged feed. Samples from concurrently simulating
+// configurations interleave, serialized by the experiment so o needs no
+// locking of its own; the per-sample run tags keep the feed unambiguous.
+// If o also implements RunObserver, it additionally receives every
+// Progress event, letting one sink (JSONLObserver does this) interleave
+// run-completion records with the sample stream.
+//
+// Telemetry never enters the experiment's cache key — observation cannot
+// change a result — so a configuration served from the cache (or coalesced
+// onto a concurrent duplicate) emits no new samples, only its ObserveRun
+// event with Cached set. Configs that set their own Observe keep it and
+// bypass o.
+func WithObserver(every int64, o Observer) Option {
+	return func(e *Experiment) { e.observer = o; e.obsEvery = every }
+}
+
+// WithObserverRing sets the in-memory ring capacity of the runs observed
+// via WithObserver (0 = the default).
+func WithObserverRing(ring int) Option {
+	return func(e *Experiment) { e.obsRing = ring }
+}
+
 // NewExperiment creates an experiment engine. Without options it runs
 // paper-sized workloads (scale 1.0) on runtime.NumCPU() workers.
 func NewExperiment(opts ...Option) *Experiment {
@@ -136,6 +164,13 @@ func NewExperiment(opts ...Option) *Experiment {
 	}
 	if e.backoff <= 0 {
 		e.backoff = 50 * time.Millisecond
+	}
+	if e.observer != nil {
+		e.telemetry = &Telemetry{
+			Every:    e.obsEvery,
+			Ring:     e.obsRing,
+			Observer: &lockedObserver{inner: e.observer},
+		}
 	}
 	e.eng = runner.New[*Result](e.parallelism)
 	return e
@@ -168,10 +203,15 @@ func (e *Experiment) normalize(cfg Config) Config {
 	if cfg.Faults == nil && e.faults != nil {
 		cfg.Faults = e.faults
 	}
+	if cfg.Observe == nil && e.telemetry != nil {
+		cfg.Observe = e.telemetry
+	}
 	return cfg
 }
 
-// key canonicalizes a normalized config into the engine cache key.
+// key canonicalizes a normalized config into the engine cache key. The key
+// is built from the result-determining fields explicitly — Observe stays
+// out by construction, since telemetry can never change a result.
 func (e *Experiment) key(cfg Config) string {
 	faults := "-"
 	if cfg.Faults != nil {
@@ -217,14 +257,24 @@ func (e *Experiment) execute(ctx context.Context, cfg Config) (*Result, error) {
 	}
 }
 
-// emit delivers one progress event; the lock serializes concurrent
-// callbacks from sweep workers (fn must not call back into e).
-func (e *Experiment) emit(p Progress) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+// notifyLocked fans one progress event out to the WithProgress callback
+// and the WithObserver run observer, if any. Callers hold e.mu, which is
+// what serializes both (neither may call back into e).
+func (e *Experiment) notifyLocked(p Progress) {
 	if e.progress != nil {
 		e.progress(p)
 	}
+	if ro, ok := e.observer.(RunObserver); ok {
+		ro.ObserveRun(p)
+	}
+}
+
+// emit delivers one progress event; the lock serializes concurrent
+// callbacks from sweep workers.
+func (e *Experiment) emit(p Progress) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.notifyLocked(p)
 }
 
 // Run returns the result for one configuration, simulating it at most
@@ -350,9 +400,7 @@ func (e *Experiment) RunAll(ctx context.Context, cfgs []Config) ([]*Result, erro
 		}
 		e.mu.Lock()
 		e.done++
-		if e.progress != nil {
-			e.progress(Progress{Config: normed[i], Err: err, Done: e.done, Total: total})
-		}
+		e.notifyLocked(Progress{Config: normed[i], Err: err, Done: e.done, Total: total})
 		e.mu.Unlock()
 	}
 	vals, jobErrs := e.eng.ForEachAll(ctx, jobs, func(j int, res *Result, err error) {
@@ -362,10 +410,8 @@ func (e *Experiment) RunAll(ctx context.Context, cfgs []Config) ([]*Result, erro
 		}
 		e.mu.Lock()
 		e.done++
-		if e.progress != nil {
-			e.progress(Progress{Config: normed[i], Result: res, Err: err,
-				Cached: err == nil && !fresh[i], Done: e.done, Total: total})
-		}
+		e.notifyLocked(Progress{Config: normed[i], Result: res, Err: err,
+			Cached: err == nil && !fresh[i], Done: e.done, Total: total})
 		e.mu.Unlock()
 	})
 	for j, i := range jobIdx {

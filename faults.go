@@ -1,6 +1,20 @@
 package ptbsim
 
-import "ptbsim/internal/fault"
+import (
+	"fmt"
+	"strings"
+
+	"ptbsim/internal/fault"
+)
+
+// reshapeFaultErr rewrites an internal fault-package error into the public
+// parsers' uniform shape — "ptbsim: invalid fault spec: <detail>" — while
+// keeping the ErrBadFaultSpec sentinel reachable through errors.Is.
+func reshapeFaultErr(err error) error {
+	detail := strings.TrimPrefix(err.Error(), "fault: ")
+	detail = strings.TrimPrefix(detail, fault.ErrBadSpec.Error()+": ")
+	return fmt.Errorf("ptbsim: %w: %s", fault.ErrBadSpec, detail)
+}
 
 // FaultSpec declares the fault-injection rates and parameters of a run.
 // The zero FaultSpec injects nothing, and a run under the zero spec is
@@ -116,7 +130,12 @@ func fromInternal(s fault.Spec) FaultSpec {
 func (s FaultSpec) Zero() bool { return s.internal().Zero() }
 
 // Validate checks every rate; errors wrap ErrBadFaultSpec.
-func (s FaultSpec) Validate() error { return s.internal().Validate() }
+func (s FaultSpec) Validate() error {
+	if err := s.internal().Validate(); err != nil {
+		return reshapeFaultErr(err)
+	}
+	return nil
+}
 
 // String renders the spec in ParseFaultSpec's comma-separated key=value
 // syntax, omitting zero fields, in a deterministic key order. The zero
@@ -135,7 +154,7 @@ func (s FaultSpec) String() string { return s.internal().String() }
 func ParseFaultSpec(in string) (FaultSpec, error) {
 	s, err := fault.Parse(in)
 	if err != nil {
-		return FaultSpec{}, err
+		return FaultSpec{}, reshapeFaultErr(err)
 	}
 	return fromInternal(s), nil
 }

@@ -1,0 +1,100 @@
+package ptbsim
+
+import "flag"
+
+// The CLI tools all expose the same technique/policy/faults/telemetry
+// flags; these flag.Value implementations replace the per-tool string
+// parsing so every tool validates identically and errors carry the typed
+// ErrBad* sentinels. Usage:
+//
+//	tech := ptbsim.None
+//	flag.Var(&tech, "tech", "technique ("+strings.Join(ptbsim.TechniqueNames(), ", ")+")")
+//	var faults ptbsim.FaultSpecFlag
+//	flag.Var(&faults, "faults", "fault spec, e.g. seed=42,drop=0.1")
+//	var tel ptbsim.TelemetryFlag
+//	flag.Var(&tel, "telemetry", "telemetry spec, e.g. every=2048,out=run.jsonl")
+
+// String returns the technique's canonical lowercase name; together with
+// Set it makes *Technique a flag.Value.
+func (t Technique) String() string { return string(t) }
+
+// Set implements flag.Value via ParseTechnique.
+func (t *Technique) Set(s string) error {
+	v, err := ParseTechnique(s)
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
+// Set implements flag.Value via ParsePolicy (Policy.String is the printing
+// half).
+func (p *Policy) Set(s string) error {
+	v, err := ParsePolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// FaultSpecFlag is a flag.Value for -faults. Spec stays nil until the flag
+// is set, preserving the nil-vs-zero-spec distinction Config.Faults
+// documents (both run the ideal machine, but only an explicit spec appears
+// in cache keys and reports).
+type FaultSpecFlag struct {
+	// Spec is the parsed spec, nil when the flag was never set.
+	Spec *FaultSpec
+}
+
+// String renders the current spec ("" when unset).
+func (f *FaultSpecFlag) String() string {
+	if f == nil || f.Spec == nil {
+		return ""
+	}
+	return f.Spec.String()
+}
+
+// Set implements flag.Value via ParseFaultSpec.
+func (f *FaultSpecFlag) Set(in string) error {
+	s, err := ParseFaultSpec(in)
+	if err != nil {
+		return err
+	}
+	f.Spec = &s
+	return nil
+}
+
+// TelemetryFlag is a flag.Value for -telemetry. Spec stays nil until the
+// flag is set — an unset flag means telemetry off, while `-telemetry ""`
+// enables it with all defaults (JSONL to stdout).
+type TelemetryFlag struct {
+	// Spec is the parsed spec, nil when the flag was never set.
+	Spec *TelemetrySpec
+}
+
+// String renders the current spec ("" when unset).
+func (f *TelemetryFlag) String() string {
+	if f == nil || f.Spec == nil {
+		return ""
+	}
+	return f.Spec.String()
+}
+
+// Set implements flag.Value via ParseTelemetrySpec.
+func (f *TelemetryFlag) Set(in string) error {
+	s, err := ParseTelemetrySpec(in)
+	if err != nil {
+		return err
+	}
+	f.Spec = &s
+	return nil
+}
+
+var (
+	_ flag.Value = (*Technique)(nil)
+	_ flag.Value = (*Policy)(nil)
+	_ flag.Value = (*FaultSpecFlag)(nil)
+	_ flag.Value = (*TelemetryFlag)(nil)
+)

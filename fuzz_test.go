@@ -116,6 +116,48 @@ func FuzzParseFaultSpec(f *testing.F) {
 	})
 }
 
+// FuzzParseTelemetrySpec checks the -telemetry spec parser never panics,
+// that every accepted spec validates, that its canonical String() reparses
+// to the identical spec, and that every rejection wraps ErrBadTelemetrySpec
+// so CLI tools can always errors.Is-dispatch.
+func FuzzParseTelemetrySpec(f *testing.F) {
+	f.Add("")
+	f.Add("every=2048,out=run.jsonl")
+	f.Add("every=512,format=csv,out=power.csv,ring=4096")
+	f.Add("out=-")
+	f.Add(" every = 100 , format = JSONL ")
+	f.Add("every=-1")
+	f.Add("every=1,every=2")
+	f.Add("format=xml")
+	f.Add("bogus=1")
+	f.Add("every")
+	f.Add("every=,out=x")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseTelemetrySpec(in)
+		if err != nil {
+			if !errors.Is(err, ErrBadTelemetrySpec) {
+				t.Fatalf("ParseTelemetrySpec(%q) error %v does not wrap ErrBadTelemetrySpec", in, err)
+			}
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseTelemetrySpec(%q) accepted a spec Validate rejects: %v", in, verr)
+		}
+		canon := s.String()
+		again, err2 := ParseTelemetrySpec(canon)
+		if err2 != nil {
+			t.Fatalf("ParseTelemetrySpec(%q) = %+v but canonical %q does not reparse: %v", in, s, canon, err2)
+		}
+		if again != s {
+			t.Fatalf("ParseTelemetrySpec(%q): canonical %q reparses to a different spec:\n in  %+v\n out %+v",
+				in, canon, s, again)
+		}
+		if again.String() != canon {
+			t.Fatalf("String() not canonical: %q then %q", canon, again.String())
+		}
+	})
+}
+
 // FuzzConfigValidate checks that Validate never panics on arbitrary field
 // combinations, that every rejection wraps one of the exported sentinels
 // (so callers can always errors.Is-dispatch), and that every accepted

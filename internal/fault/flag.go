@@ -1,0 +1,31 @@
+package fault
+
+import "flag"
+
+// Flag is a flag.Value for -faults flags in tools that drive the internal
+// engine directly (ptbsweep, ptbreport). Spec stays nil until the flag is
+// set, preserving the nil-vs-zero-spec distinction.
+type Flag struct {
+	// Spec is the parsed spec, nil when the flag was never set.
+	Spec *Spec
+}
+
+// String renders the current spec ("" when unset).
+func (f *Flag) String() string {
+	if f == nil || f.Spec == nil {
+		return ""
+	}
+	return f.Spec.String()
+}
+
+// Set implements flag.Value via Parse.
+func (f *Flag) Set(in string) error {
+	s, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	f.Spec = &s
+	return nil
+}
+
+var _ flag.Value = (*Flag)(nil)

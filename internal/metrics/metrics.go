@@ -147,8 +147,20 @@ func (c *Collector) SpinEnergyFrac() float64 {
 	return spin / c.chipEnergyPJ
 }
 
-// Trace returns the recorded chip power samples (pJ/cycle).
-func (c *Collector) Trace() []float64 { return c.trace }
+// Trace returns the recorded chip power samples (pJ/cycle). The returned
+// slice is a copy: results built on a collector are shared across cached
+// callers, so handing out the live internal slice would let one caller's
+// mutation corrupt every other's trace.
+func (c *Collector) Trace() []float64 {
+	out := make([]float64, len(c.trace))
+	copy(out, c.trace)
+	return out
+}
+
+// ClassCycles returns the cumulative chip-wide core-cycles recorded per
+// activity class (the counters behind ClassCycleFrac), for windowed
+// observers that difference successive readouts.
+func (c *Collector) ClassCycles() [isa.NumSyncClasses]int64 { return c.classCycles }
 
 // ClassAvgPJ returns the average per-core-cycle energy spent in each
 // activity class — the calibration view of how hot a busy core runs versus
@@ -179,6 +191,11 @@ type RunResult struct {
 	SpinEnergyFrac float64
 	ClassFrac      [isa.NumSyncClasses]float64
 	OverBudgetFrac float64
+
+	// BudgetPJ is the global per-cycle power budget in picojoules — the
+	// line the AoPB integral is measured against, carried on the result so
+	// trace tooling does not need to rebuild the system to learn it.
+	BudgetPJ float64
 
 	MeanTempC float64
 	StdTempC  float64

@@ -77,6 +77,18 @@ func TestTraceSubsampling(t *testing.T) {
 	}
 }
 
+func TestTraceReturnsCopy(t *testing.T) {
+	c := NewCollector(1, 0, 1)
+	for i := 0; i < 5; i++ {
+		c.Record([]float64{float64(i)}, []isa.SyncClass{isa.SyncBusy})
+	}
+	first := c.Trace()
+	first[0] = -1
+	if got := c.Trace()[0]; got != 0 {
+		t.Fatalf("mutating a returned trace corrupted the collector: trace[0] = %v", got)
+	}
+}
+
 func TestNormalization(t *testing.T) {
 	base := &RunResult{EnergyJ: 2.0, AoPBJ: 0.5, Cycles: 1000}
 	r := &RunResult{EnergyJ: 1.9, AoPBJ: 0.05, Cycles: 1100}

@@ -12,6 +12,7 @@ import (
 	"ptbsim/internal/fault"
 	"ptbsim/internal/mesh"
 	"ptbsim/internal/metrics"
+	"ptbsim/internal/obs"
 	"ptbsim/internal/power"
 	"ptbsim/internal/runner"
 	"ptbsim/internal/workload"
@@ -49,6 +50,13 @@ type Runner struct {
 	// run; the spec is part of the cache key, so runners at different fault
 	// rates never share results.
 	Faults *fault.Spec
+	// Observe, when non-nil, wires the epoch-sampled telemetry recorder
+	// into every run this runner executes (see sim.Config.Observe). Set
+	// before the first run. The runner executes runs concurrently, so a
+	// shared Sink must be serialized (obs.Synchronized). Telemetry is not
+	// part of the cache key — it cannot change results — so cached runs
+	// emit no samples; only fresh simulations stream.
+	Observe *obs.Config
 	// Progress, when non-nil, receives one line per fresh (uncached) run.
 	Progress io.Writer
 
@@ -142,6 +150,7 @@ func (r *Runner) simulate(ctx context.Context, bench string, cores int, tech Tec
 		MaxCycles:     r.MaxCycles,
 		Invariants:    r.CheckInvariants,
 		Faults:        r.Faults,
+		Observe:       r.Observe,
 	})
 }
 

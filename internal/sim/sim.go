@@ -19,6 +19,7 @@ import (
 	"ptbsim/internal/isa"
 	"ptbsim/internal/mesh"
 	"ptbsim/internal/metrics"
+	"ptbsim/internal/obs"
 	"ptbsim/internal/power"
 	"ptbsim/internal/syncprim"
 	"ptbsim/internal/thermal"
@@ -82,6 +83,14 @@ type Config struct {
 	// per-cluster balancers of that many cores (the paper's §III.E.2
 	// scalability scheme for >32-core CMPs).
 	PTBClusterSize int
+
+	// Observe, when non-nil, wires the epoch-sampled telemetry recorder
+	// into the run: one obs.Sample per Observe.Every cycles, recorded into
+	// a preallocated ring and streamed to Observe.Sink. The recorder only
+	// reads simulation state, so an observed run is bit-identical to an
+	// unobserved one (the golden matrix pins this); disabled runs pay one
+	// nil check per cycle.
+	Observe *obs.Config
 
 	// Faults, when non-nil, wires the deterministic fault-injection engine
 	// into the system: token-exchange faults into the PTB balancer, link
@@ -156,6 +165,8 @@ type System struct {
 	inv    *invariant.Checker // nil unless Config.Invariants
 	faults *fault.Injector    // nil unless Config.Faults
 	sensor *power.NoisySensor // nil unless Config.Faults
+	obs    *obs.Recorder      // nil unless Config.Observe
+	obsGov *dvfs.Governor     // mode-residency source; nil when no governor
 
 	perCore   []float64
 	classes   []isa.SyncClass
@@ -277,11 +288,82 @@ func NewSystem(cfg Config) (*System, error) {
 			g.SetFaults(s.faults.DVFS())
 		}
 	}
+	if cfg.Observe != nil {
+		if govs := s.governors(); len(govs) == 1 {
+			s.obsGov = govs[0]
+		}
+		s.obs = obs.NewRecorder(*cfg.Observe, n, s.fillSample)
+		pol := ""
+		if cfg.Technique == TechPTB || cfg.Technique == TechPTBSpinGate {
+			pol = cfg.Policy.String()
+		}
+		s.obs.SetRun(spec.Name, n, string(cfg.Technique), pol, globalBudget)
+	}
 	if cfg.Invariants {
 		s.inv = invariant.New(cfg.InvariantEpoch)
 		s.registerInvariants()
 	}
 	return s, nil
+}
+
+// tokenLedger reads the PTB token-flow ledger (cumulative pJ) across
+// whichever balancer topology is active; all zeros for non-PTB techniques.
+func (s *System) tokenLedger() (donated, granted, discarded, inflight float64) {
+	if s.bal != nil {
+		d, g, di, _ := s.bal.Stats()
+		return d, g, di, s.bal.PendingPJ()
+	}
+	if cb, ok := s.ctl.(*core.ClusteredBalancer); ok {
+		for _, grp := range cb.Groups() {
+			d, g, di, _ := grp.Stats()
+			donated += d
+			granted += g
+			discarded += di
+			inflight += grp.PendingPJ()
+		}
+	}
+	return
+}
+
+// fillSample populates one telemetry sample from live simulation state. It
+// runs at the end of Step, after the meter fold and collector record, so
+// every readout is the post-cycle view. Cumulative counters are written as
+// read; the obs.Recorder converts them to epoch deltas. The fill performs
+// no allocation — the sample's slices are preallocated by the recorder —
+// which keeps the enabled path O(1) per epoch.
+func (s *System) fillSample(sm *obs.Sample) {
+	var chip float64
+	for i := range s.perCore {
+		p := s.perCore[i]
+		sm.CorePJ[i] = p
+		chip += p
+		sm.TokensPJ[i] = s.st.EstPJ[i]
+		sm.EpochPJ[i] = s.meter.TotalPJ(i)
+		sm.Classes[i] = int(s.classes[i])
+		if s.obsGov != nil {
+			sm.Modes[i] = s.obsGov.ModeIndex(i)
+		} else {
+			sm.Modes[i] = 0
+		}
+	}
+	sm.ChipPJ = chip
+	sm.ClassCycles = s.col.ClassCycles()
+	sm.DonatedPJ, sm.GrantedPJ, sm.DiscardedPJ, sm.InFlightPJ = s.tokenLedger()
+	sm.NoCMessages = s.net.Messages()
+	sm.NoCFlits = s.net.FlitHops()
+	var l1h, l1m int64
+	for i := range s.cores {
+		l1h += s.hier.L1I[i].Hits() + s.hier.L1D[i].Hits()
+		l1m += s.hier.L1I[i].Misses() + s.hier.L1D[i].Misses()
+	}
+	sm.L1Hits, sm.L1Misses = l1h, l1m
+	var l2h, l2m int64
+	for _, b := range s.hier.Banks {
+		_, _, _, _, _, h, m := b.Stats()
+		l2h += h
+		l2m += m
+	}
+	sm.L2Hits, sm.L2Misses = l2h, l2m
 }
 
 // registerInvariants wires the component self-checks into the checker.
@@ -299,6 +381,14 @@ func (s *System) registerInvariants() {
 		return nil
 	})
 	s.inv.Register("power-ledger", s.meter.CheckConsistency)
+	if s.obs != nil {
+		// The telemetry epoch-energy ledger must telescope back to the
+		// meter's ground truth: emitted per-core epoch sums plus the
+		// unsampled tail equal the cumulative metered energy.
+		s.inv.Register("obs-energy", func() error {
+			return s.obs.CheckEnergy(s.meter.TotalPJ)
+		})
+	}
 	s.inv.Register("noc-flit-conservation", s.net.CheckFlitConservation)
 	s.inv.Register("budget-state", func() error {
 		// The structural (non-derated) peak scales the estimate sanity
@@ -402,6 +492,10 @@ func (s *System) Invariants() *invariant.Checker { return s.inv }
 // CoreTrace returns the per-cycle power samples of Config.TraceCore.
 func (s *System) CoreTrace() []float64 { return s.coreTrace }
 
+// Telemetry returns the epoch-sampled telemetry recorder, or nil when
+// Config.Observe is off.
+func (s *System) Telemetry() *obs.Recorder { return s.obs }
+
 // Cycle returns the current simulation cycle.
 func (s *System) Cycle() int64 { return s.cycle }
 
@@ -484,6 +578,9 @@ func (s *System) Step() {
 	if s.cfg.TraceCore >= 0 && s.cfg.TraceEvery > 0 && s.cycle%s.cfg.TraceEvery == 0 {
 		s.coreTrace = append(s.coreTrace, s.perCore[s.cfg.TraceCore])
 	}
+	if s.obs != nil {
+		s.obs.Tick(s.cycle)
+	}
 	s.inv.Tick(s.cycle)
 }
 
@@ -528,6 +625,12 @@ func (s *System) RunContext(ctx context.Context) (*metrics.RunResult, error) {
 					s.cfg.Benchmark.Name, s.cfg.Cores, s.cfg.Technique, s.cycle, err)
 			}
 		}
+	}
+	// Flush the telemetry tail before invariant finalization: the
+	// quiescent-MOESI final check drains the event queue, which charges the
+	// power meter energy that belongs to no epoch of the finished run.
+	if s.obs != nil {
+		s.obs.Finalize(s.cycle)
 	}
 	s.inv.Finalize(s.cycle)
 	if err := s.inv.Err(); err != nil {
@@ -619,6 +722,7 @@ func (s *System) result() *metrics.RunResult {
 		SpinEnergyFrac: s.col.SpinEnergyFrac(),
 		ClassFrac:      s.col.ClassCycleFrac(),
 		OverBudgetFrac: s.col.OverBudgetFrac(),
+		BudgetPJ:       s.GlobalBudgetPJ(),
 		MeanTempC:      s.therm.MeanTempC(),
 		StdTempC:       s.therm.StdTempC(),
 		HitMaxCycles:   s.hitMax,

@@ -3,16 +3,17 @@ package sim
 import (
 	"testing"
 
+	"ptbsim/internal/obs"
 	"ptbsim/internal/workload"
 )
 
 // benchSteps measures the per-cycle cost of System.Step on a live 4-core
-// ocean run. The two variants differ only in cfg.Invariants, so comparing
-// their ns/op isolates what the invariant layer costs when disabled (one
-// nil check per cycle — the <2% claim in DESIGN.md §8) and when enabled
-// (epoch-gated sweeps). cmd/ptbbench compares both against
-// BENCH_baseline.json.
-func benchSteps(b *testing.B, check bool) {
+// ocean run. The variants differ only in cfg.Invariants / cfg.Observe, so
+// comparing their ns/op isolates what each opt-in layer costs when
+// disabled (one nil check per cycle — the <2% claims in DESIGN.md §8 and
+// §11) and when enabled (epoch-gated sweeps / sampling). cmd/ptbbench
+// compares all of them against BENCH_baseline.json.
+func benchSteps(b *testing.B, check bool, observe *obs.Config) {
 	spec, ok := workload.ByName("ocean")
 	if !ok {
 		b.Fatal("ocean missing from catalog")
@@ -23,6 +24,7 @@ func benchSteps(b *testing.B, check bool) {
 		Technique:     TechNone,
 		WorkloadScale: 1.0,
 		Invariants:    check,
+		Observe:       observe,
 	}
 	s, err := NewSystem(cfg)
 	if err != nil {
@@ -41,5 +43,13 @@ func benchSteps(b *testing.B, check bool) {
 	}
 }
 
-func BenchmarkSimStep(b *testing.B)           { benchSteps(b, false) }
-func BenchmarkSimStepInvariants(b *testing.B) { benchSteps(b, true) }
+func BenchmarkSimStep(b *testing.B)           { benchSteps(b, false, nil) }
+func BenchmarkSimStepInvariants(b *testing.B) { benchSteps(b, true, nil) }
+
+// BenchmarkSimStepTelemetry runs the same loop with the observability
+// recorder sampling at the default epoch, so the enabled-path cost (one
+// counter compare per cycle plus an O(cores) fill every epoch) is
+// measurable against BenchmarkSimStep in the same session.
+func BenchmarkSimStepTelemetry(b *testing.B) {
+	benchSteps(b, false, &obs.Config{Every: obs.DefaultEvery, Ring: 1})
+}

@@ -1,0 +1,137 @@
+package ptbsim_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"ptbsim"
+)
+
+// TestResultJSONRoundTrip marshals a real run's Result and a hand-built one
+// exercising the fault/degradation fields, and demands that decoding
+// reproduces every field exactly — float64 survives encoding/json bit-for-
+// bit, so reflect.DeepEqual is the right bar. The wire schema (snake_case
+// keys) is pinned separately below.
+func TestResultJSONRoundTrip(t *testing.T) {
+	res, err := ptbsim.RunContext(context.Background(), ptbsim.Config{
+		Benchmark:     "fft",
+		Cores:         4,
+		Technique:     ptbsim.PTB,
+		Policy:        ptbsim.Dynamic,
+		WorkloadScale: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthetic := &ptbsim.Result{
+		Benchmark: "ocean", Cores: 8, Technique: ptbsim.PTB, Policy: "ToOne",
+		Cycles: 123, Committed: 45, EnergyJ: 1.25e-3, AoPBJ: 1e-6, BudgetPJ: 1935.1,
+		MeanPowerW: 2.5, StdPowerW: 0.25, BusyFrac: 0.75, BarrierFrac: 0.25,
+		HitMaxCycles: true, ComponentJ: map[string]float64{"core": 1e-3, "noc": 2.5e-4},
+		TokenDonatedPJ: 10, TokenGrantedPJ: 9, TokenDiscardedPJ: 1, BalanceRounds: 7,
+		CohGetS: 1, CohGetX: 2, CohPut: 3, CohFwd: 4, CohInv: 5,
+		NoCMessages: 100, NoCFlits: 700,
+		Degraded: true, FaultsInjected: 11, TokenLostPJ: 3.5, TokenDupPJ: 0.5,
+		TokenRetries: 6, TokenReportsLost: 2, StaleFallbackCycles: 40,
+		NoCStallCycles: 8, NoCRetransmits: 9, DVFSGlitches: 1,
+	}
+	for name, r := range map[string]*ptbsim.Result{"simulated": res, "synthetic": synthetic} {
+		buf, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var back ptbsim.Result
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(*r, back) {
+			t.Errorf("%s: round trip changed the result:\n in  %+v\n out %+v", name, *r, back)
+		}
+	}
+}
+
+// TestResultJSONSchema pins the stable snake_case wire keys external
+// tooling depends on, and that zero-valued optional fields stay off the
+// wire.
+func TestResultJSONSchema(t *testing.T) {
+	buf, err := json.Marshal(&ptbsim.Result{Benchmark: "fft", Cores: 2, Technique: ptbsim.None,
+		EnergyJ: 0.5, MeanPowerW: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"benchmark", "cores", "technique", "cycles", "committed",
+		"energy_j", "aopb_j", "budget_pj", "mean_power_w", "noc_msgs", "noc_flits"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("wire form lacks key %q: %s", key, buf)
+		}
+	}
+	for _, key := range []string{"policy", "hit_max_cycles", "component_j", "faults_injected", "degraded"} {
+		if _, ok := m[key]; ok {
+			t.Errorf("zero-valued optional key %q on the wire: %s", key, buf)
+		}
+	}
+}
+
+// TestConfigJSONRoundTrip checks the Config wire form: parsers accept what
+// Marshal emits, the fault spec travels as its canonical flag string, and
+// the in-process-only Observe field never reaches the wire.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfgs := []ptbsim.Config{
+		{Benchmark: "fft", Cores: 4, Technique: ptbsim.PTB, Policy: ptbsim.Dynamic,
+			WorkloadScale: 0.25},
+		{Benchmark: "ocean", Cores: 16, Technique: ptbsim.TwoLevel, RelaxFrac: 0.2,
+			BudgetFrac: 0.5, MaxCycles: 1 << 20, PessimisticPTBLatency: true,
+			PTBClusterSize: 4, CheckInvariants: true},
+		{Benchmark: "raytrace", Cores: 2, Technique: ptbsim.PTB, Policy: ptbsim.ToOne,
+			Faults: &ptbsim.FaultSpec{Seed: 42, TokenDrop: 0.25}},
+		{},
+	}
+	for i, cfg := range cfgs {
+		withObs := cfg
+		withObs.Observe = &ptbsim.Telemetry{Every: 512, Observer: &ptbsim.MemoryObserver{}}
+		buf, err := json.Marshal(withObs)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		var back ptbsim.Config
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		want := cfg
+		want.Observe = nil // observers are in-process values with no wire form
+		if !reflect.DeepEqual(want, back) {
+			t.Errorf("config %d: round trip changed it:\n in  %+v\n out %+v\n wire %s",
+				i, want, back, buf)
+		}
+	}
+}
+
+// TestConfigJSONRejectsBadNames checks that decoding goes through the same
+// validated parsers as the CLI flags, so a bad technique or policy name on
+// the wire surfaces the standard sentinel.
+func TestConfigJSONRejectsBadNames(t *testing.T) {
+	cases := map[string]error{
+		`{"technique":"warp"}`:        ptbsim.ErrBadTechnique,
+		`{"policy":"nosuch"}`:         ptbsim.ErrBadPolicy,
+		`{"faults":"drop=2"}`:         ptbsim.ErrBadFaultSpec,
+		`{"faults":"drop=0.1,bogus"}`: ptbsim.ErrBadFaultSpec,
+	}
+	for in, sentinel := range cases {
+		var cfg ptbsim.Config
+		err := json.Unmarshal([]byte(in), &cfg)
+		if err == nil {
+			t.Errorf("decoding %s succeeded, want error wrapping %v", in, sentinel)
+			continue
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("decoding %s: error %v does not wrap %v", in, err, sentinel)
+		}
+	}
+}

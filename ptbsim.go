@@ -146,6 +146,14 @@ type Config struct {
 	// machine, bit-identically. Faults compose with CheckInvariants: every
 	// conservation invariant keeps holding under injection.
 	Faults *FaultSpec
+	// Observe, when non-nil, enables epoch-sampled telemetry: every
+	// Observe.Every cycles the run records one Sample (per-core power and
+	// token views, DVFS mode residency, sync-class occupancy, the PTB
+	// token ledger, NoC and cache pressure) into an in-memory ring and
+	// streams it to Observe.Observer. Observation is passive — results and
+	// digests are bit-identical with it on or off — and a nil Observe costs
+	// one nil check per cycle. See Telemetry and the bundled observers.
+	Observe *Telemetry
 }
 
 func (c Config) internal() (sim.Config, error) {
@@ -176,6 +184,7 @@ func (c Config) internal() (sim.Config, error) {
 		spec := c.Faults.internal()
 		cfg.Faults = &spec
 	}
+	cfg.Observe = c.Observe.internal()
 	return cfg, nil
 }
 
@@ -195,6 +204,11 @@ type Result struct {
 	// (Fig. 1), both in joules.
 	EnergyJ float64
 	AoPBJ   float64
+
+	// BudgetPJ is the global per-cycle power budget in picojoules — the
+	// line AoPBJ integrates over and telemetry samples carry, reported here
+	// so tooling never has to rebuild the system to learn it.
+	BudgetPJ float64
 
 	// MeanPowerW and StdPowerW characterize the chip power trace.
 	MeanPowerW float64
@@ -286,6 +300,7 @@ func fromMetrics(r *metrics.RunResult) *Result {
 		Committed:      r.Committed,
 		EnergyJ:        r.EnergyJ,
 		AoPBJ:          r.AoPBJ,
+		BudgetPJ:       r.BudgetPJ,
 		MeanPowerW:     r.MeanPowerW,
 		StdPowerW:      r.StdPowerW,
 		BusyFrac:       r.ClassFrac[0],
@@ -362,32 +377,54 @@ type TraceResult struct {
 	GlobalBudgetPJ float64
 }
 
+// traceCapture adapts the Observer stream back into the flat ChipTrace/
+// CoreTrace slices TraceResult promises. Full epochs sample on exactly the
+// cycles the legacy collector trace did (cycle % every == 0), and ChipPJ
+// sums per-core energy in the collector's order, so the rebuilt traces are
+// bit-identical to the deprecated engine-side ones; the partial tail flush
+// is skipped because the old traces never had one.
+type traceCapture struct {
+	core      int
+	chip      []float64
+	coreTrace []float64
+}
+
+func (t *traceCapture) Observe(s *Sample) {
+	if s.Partial {
+		return
+	}
+	t.chip = append(t.chip, s.ChipPJ)
+	if t.core >= 0 && t.core < len(s.CorePJ) {
+		t.coreTrace = append(t.coreTrace, s.CorePJ[t.core])
+	}
+}
+
 // RunTraceContext executes a simulation while recording power traces,
 // honoring ctx like RunContext. traceCore may be -1 to record only the
 // chip trace.
+//
+// Deprecated: RunTraceContext predates the Observer API and survives as a
+// thin shim over it — it runs the simulation with a Telemetry of period
+// traceEvery (replacing any cfg.Observe) and flattens the samples into
+// TraceResult. New code should set Config.Observe with a MemoryObserver
+// (or any Observer) and use the full Samples, which carry the token ledger,
+// mode residency and cache/NoC pressure alongside the power trace.
 func RunTraceContext(ctx context.Context, cfg Config, traceEvery int64, traceCore int) (*TraceResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+	tr := &traceCapture{core: traceCore}
+	if traceEvery > 0 {
+		cfg.Observe = &Telemetry{Every: traceEvery, Ring: 1, Observer: tr}
+	} else {
+		cfg.Observe = nil
 	}
-	icfg, err := cfg.internal()
-	if err != nil {
-		return nil, err
-	}
-	icfg.TraceEvery = traceEvery
-	icfg.TraceCore = traceCore
-	s, err := sim.NewSystem(icfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := s.RunContext(ctx)
+	res, err := RunContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &TraceResult{
-		Result:         *fromMetrics(res),
-		ChipTrace:      s.Collector().Trace(),
-		CoreTrace:      s.CoreTrace(),
-		GlobalBudgetPJ: s.GlobalBudgetPJ(),
+		Result:         *res,
+		ChipTrace:      tr.chip,
+		CoreTrace:      tr.coreTrace,
+		GlobalBudgetPJ: res.BudgetPJ,
 	}, nil
 }
 
