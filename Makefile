@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check chaos golden bench bench-baseline bench-compare bench-smoke profile fuzz fmt vet
+.PHONY: all build test test-short race check chaos golden bench bench-baseline bench-compare bench-smoke serve-smoke profile fuzz fmt vet
 
 all: build test
 
@@ -61,6 +61,13 @@ bench-smoke:
 	( $(GO) test -run xxx -bench 'BenchmarkSimStep' -benchtime 3s ./internal/sim/ ; \
 	  $(GO) test -run xxx -bench 'BenchmarkFig9PolicySweep' -benchtime 1x . ) \
 	| $(GO) run ./cmd/ptbbench -compare BENCH_baseline.json -fail-over 15
+
+# End-to-end gate for the serving layer: boot ptbserve with a store,
+# hammer it with concurrent duplicate sweeps via ptbload (single-flight
+# + warm hit-rate assertions), SIGTERM-drain, reboot on the same store
+# and demand byte-identical digests. CI's serve-e2e job runs this.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # CPU- and heap-profile a representative full run. Every cmd tool takes
 # -cpuprofile/-memprofile/-trace (internal/prof), so the same recipe

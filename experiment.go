@@ -8,7 +8,7 @@ import (
 	"sync"
 	"time"
 
-	"ptbsim/internal/runner"
+	"ptbsim/internal/sched"
 	"ptbsim/internal/sim"
 )
 
@@ -50,7 +50,10 @@ type Experiment struct {
 	obsRing     int
 	telemetry   *Telemetry // shared serialized Telemetry built from observer
 
-	eng *runner.Engine[*Result]
+	cacheBackend ResultCache // nil = default in-memory cache
+	queueCap     int         // Submit queue bound; 0 = unbounded
+
+	eng *sched.Scheduler[*Result]
 
 	mu   sync.Mutex // serializes progress callbacks and the sweep counter
 	done int
@@ -172,7 +175,14 @@ func NewExperiment(opts ...Option) *Experiment {
 			Observer: &lockedObserver{inner: e.observer},
 		}
 	}
-	e.eng = runner.New[*Result](e.parallelism)
+	var engOpts []sched.Option[*Result]
+	if e.cacheBackend != nil {
+		engOpts = append(engOpts, sched.WithCache[*Result](e.cacheBackend))
+	}
+	if e.queueCap > 0 {
+		engOpts = append(engOpts, sched.WithQueueCap[*Result](e.queueCap))
+	}
+	e.eng = sched.New[*Result](e.parallelism, engOpts...)
 	return e
 }
 
@@ -369,7 +379,7 @@ func (e *Experiment) RunAll(ctx context.Context, cfgs []Config) ([]*Result, erro
 	errs := make([]error, len(cfgs))
 	normed := make([]Config, len(cfgs))
 	fresh := make([]bool, len(cfgs))
-	var jobs []runner.Job[*Result]
+	var jobs []sched.Job[*Result]
 	var jobIdx []int // job slot → cfgs index (invalid configs get no job)
 	for i, cfg := range cfgs {
 		cfg = e.normalize(cfg)
@@ -379,7 +389,7 @@ func (e *Experiment) RunAll(ctx context.Context, cfgs []Config) ([]*Result, erro
 			continue
 		}
 		i, cfg := i, cfg
-		jobs = append(jobs, runner.Job[*Result]{
+		jobs = append(jobs, sched.Job[*Result]{
 			Key: e.key(cfg),
 			Run: func(ctx context.Context) (*Result, error) {
 				fresh[i] = true

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"ptbsim"
+	"ptbsim/internal/store"
+)
+
+// event is one server-sent event: a named JSON payload.
+type event struct {
+	name string
+	data []byte
+}
+
+// Hub fans the experiment's telemetry out to SSE subscribers. It
+// implements ptbsim.Observer and ptbsim.RunObserver, so it plugs into
+// ptbsim.WithObserver — which serializes Observe/ObserveRun calls — and
+// must therefore be constructed before the Experiment. Subscribers that
+// fall behind lose events rather than stalling the simulation: each
+// subscription is a bounded channel and the hub drops on overflow,
+// counting the loss.
+type Hub struct {
+	mu      sync.Mutex
+	subs    map[chan event]struct{}
+	dropped int64
+}
+
+// NewHub creates an SSE telemetry hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[chan event]struct{})}
+}
+
+// runEvent is the wire form of a run-completion SSE event.
+type runEvent struct {
+	Config ptbsim.Config `json:"config"`
+	Digest string        `json:"digest,omitempty"`
+	Cached bool          `json:"cached,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// Observe broadcasts one telemetry sample as a "sample" event.
+func (h *Hub) Observe(s *ptbsim.Sample) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return
+	}
+	h.broadcast(event{name: "sample", data: data})
+}
+
+// ObserveRun broadcasts one run completion as a "run" event.
+func (h *Hub) ObserveRun(p ptbsim.Progress) {
+	ev := runEvent{Config: p.Config, Cached: p.Cached}
+	if p.Result != nil {
+		ev.Digest = p.Result.Digest()
+	}
+	if p.Err != nil {
+		ev.Error = p.Err.Error()
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	h.broadcast(event{name: "run", data: data})
+}
+
+func (h *Hub) broadcast(ev event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+			continue
+		default:
+		}
+		if ev.name != "run" {
+			h.dropped++
+			continue
+		}
+		// Run completions outrank backlogged samples: evict one queued
+		// event to make room rather than dropping the completion.
+		select {
+		case <-ch:
+			h.dropped++
+		default:
+		}
+		select {
+		case ch <- ev:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// subscribe registers a new bounded subscription; cancel unregisters it.
+func (h *Hub) subscribe() (ch chan event, cancel func()) {
+	ch = make(chan event, 256)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}
+
+// Subscribers reports the number of live SSE subscriptions.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Dropped reports events lost to slow subscribers.
+func (h *Hub) Dropped() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// fragmentOf mirrors store.DigestFragment for responses when no store is
+// attached.
+func fragmentOf(r *ptbsim.Result) string { return store.DigestFragment(r) }

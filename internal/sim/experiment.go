@@ -14,7 +14,7 @@ import (
 	"ptbsim/internal/metrics"
 	"ptbsim/internal/obs"
 	"ptbsim/internal/power"
-	"ptbsim/internal/runner"
+	"ptbsim/internal/sched"
 	"ptbsim/internal/workload"
 )
 
@@ -32,7 +32,7 @@ func CoreCounts() []int { return []int{2, 4, 8, 16} }
 
 // Runner executes and caches simulation runs so every figure normalizes
 // against the same base cases. All runs flow through one parallel
-// experiment engine (internal/runner), so concurrent requests for the same
+// scheduler (internal/sched), so concurrent requests for the same
 // configuration coalesce onto a single simulation instead of racing to
 // compute it twice.
 type Runner struct {
@@ -61,7 +61,7 @@ type Runner struct {
 	Progress io.Writer
 
 	mu  sync.Mutex // guards Progress writes and ctx
-	eng *runner.Engine[*metrics.RunResult]
+	eng *sched.Scheduler[*metrics.RunResult]
 	ctx context.Context // bound by Bind; used by the legacy Run path
 }
 
@@ -70,10 +70,10 @@ func NewRunner(scale float64) *Runner {
 	r := &Runner{
 		Scale:     scale,
 		MaxCycles: 80_000_000,
-		eng:       runner.New[*metrics.RunResult](0),
+		eng:       sched.New[*metrics.RunResult](0),
 		ctx:       context.Background(),
 	}
-	r.eng.SetEventFunc(func(ev runner.Event[*metrics.RunResult]) {
+	r.eng.SetEventFunc(func(ev sched.Event[*metrics.RunResult]) {
 		if ev.Err != nil || ev.Cached || ev.Coalesced {
 			return
 		}
@@ -168,10 +168,10 @@ func (r *Runner) Run(bench string, cores int, tech Technique, pol core.Policy, r
 // warmJobs lists every run the standard figure set needs: for each
 // benchmark × core count the base case, DVFS, DFS, 2level and PTB under
 // every policy (plus the relaxed variants when relax is non-zero).
-func (r *Runner) warmJobs(benches []string, coreCounts []int, relax float64) []runner.Job[*metrics.RunResult] {
-	var jobs []runner.Job[*metrics.RunResult]
+func (r *Runner) warmJobs(benches []string, coreCounts []int, relax float64) []sched.Job[*metrics.RunResult] {
+	var jobs []sched.Job[*metrics.RunResult]
 	add := func(b string, n int, tech Technique, pol core.Policy, rx float64) {
-		jobs = append(jobs, runner.Job[*metrics.RunResult]{
+		jobs = append(jobs, sched.Job[*metrics.RunResult]{
 			Key: r.key(b, n, tech, pol, rx),
 			Run: func(ctx context.Context) (*metrics.RunResult, error) {
 				return r.simulate(ctx, b, n, tech, pol, rx)

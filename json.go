@@ -1,6 +1,15 @@
 package ptbsim
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrDigestMismatch reports a decoded Result whose embedded digest does
+// not match the digest recomputed from its decoded fields — the stream
+// was corrupted or hand-edited. Branch with errors.Is.
+var ErrDigestMismatch = errors.New("ptbsim: result digest mismatch")
 
 // This file pins the JSON wire schema of Result and Config. The Go field
 // names are API, but their JSON encoding is a second, independently stable
@@ -11,7 +20,13 @@ import "encoding/json"
 // change the wire format; adding a field forces a deliberate schema
 // decision here.
 
-// resultJSON is Result's wire form.
+// resultJSON is Result's wire form. Digest is derived, not stored: it is
+// recomputed from the Result on marshal and — because encoding/json
+// round-trips float64 values bit-exactly — verified against the decoded
+// fields on unmarshal, making every serialized result self-checking
+// (ptbserve's on-disk store and the JSONL telemetry records rely on
+// this). Streams written before the field existed simply omit it and
+// skip verification.
 type resultJSON struct {
 	Benchmark string `json:"benchmark"`
 	Cores     int    `json:"cores"`
@@ -66,6 +81,8 @@ type resultJSON struct {
 	NoCStallCycles      int64   `json:"noc_stall_cycles,omitempty"`
 	NoCRetransmits      int64   `json:"noc_retransmits,omitempty"`
 	DVFSGlitches        int64   `json:"dvfs_glitches,omitempty"`
+
+	Digest string `json:"digest,omitempty"`
 }
 
 // MarshalJSON encodes the result in the stable wire schema.
@@ -93,6 +110,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		NoCStallCycles:      r.NoCStallCycles,
 		NoCRetransmits:      r.NoCRetransmits,
 		DVFSGlitches:        r.DVFSGlitches,
+		Digest:              r.Digest(),
 	})
 }
 
@@ -125,6 +143,11 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		NoCStallCycles:      w.NoCStallCycles,
 		NoCRetransmits:      w.NoCRetransmits,
 		DVFSGlitches:        w.DVFSGlitches,
+	}
+	if w.Digest != "" {
+		if got := r.Digest(); got != w.Digest {
+			return fmt.Errorf("%w: stored %q, recomputed %q", ErrDigestMismatch, w.Digest, got)
+		}
 	}
 	return nil
 }

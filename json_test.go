@@ -67,7 +67,7 @@ func TestResultJSONSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"benchmark", "cores", "technique", "cycles", "committed",
-		"energy_j", "aopb_j", "budget_pj", "mean_power_w", "noc_msgs", "noc_flits"} {
+		"energy_j", "aopb_j", "budget_pj", "mean_power_w", "noc_msgs", "noc_flits", "digest"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("wire form lacks key %q: %s", key, buf)
 		}
@@ -76,6 +76,58 @@ func TestResultJSONSchema(t *testing.T) {
 		if _, ok := m[key]; ok {
 			t.Errorf("zero-valued optional key %q on the wire: %s", key, buf)
 		}
+	}
+}
+
+// TestResultJSONDigest pins the self-checking wire digest: the marshaled
+// form embeds Result.Digest(), decoding verifies it (bit-exact float64
+// round-tripping makes recomputation safe), a tampered stream fails with
+// ErrDigestMismatch, and pre-digest streams still decode.
+func TestResultJSONDigest(t *testing.T) {
+	res, err := ptbsim.RunContext(context.Background(), ptbsim.Config{
+		Benchmark: "radix", Cores: 2, Technique: ptbsim.None, WorkloadScale: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["digest"] != res.Digest() {
+		t.Fatalf("wire digest %v != Result.Digest() %q", m["digest"], res.Digest())
+	}
+
+	var back ptbsim.Result
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("verified decode failed: %v", err)
+	}
+
+	// Tamper with a digest-covered field: decode must fail loudly, never
+	// hand back a silently-wrong result.
+	m["cycles"] = float64(res.Cycles + 1)
+	tampered, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.Unmarshal(tampered, &back)
+	if !errors.Is(err, ptbsim.ErrDigestMismatch) {
+		t.Fatalf("tampered decode error = %v, want ErrDigestMismatch", err)
+	}
+
+	// Pre-digest streams (no digest key) skip verification.
+	delete(m, "digest")
+	m["cycles"] = float64(res.Cycles)
+	legacy, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(legacy, &back); err != nil {
+		t.Fatalf("legacy decode failed: %v", err)
 	}
 }
 

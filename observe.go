@@ -124,6 +124,10 @@ type JSONLObserver struct {
 
 // NewJSONLObserver creates a JSONL sink writing to w. The caller owns w's
 // buffering and closing; see TelemetrySpec.Start for the managed variant.
+//
+// Deprecated: the telemetry wire formats live in ptbsim/sinks, which
+// documents their stability guarantee; use sinks.NewJSONL. This alias is
+// permanent but frozen.
 func NewJSONLObserver(w io.Writer) *JSONLObserver {
 	return &JSONLObserver{enc: json.NewEncoder(w)}
 }
@@ -180,6 +184,9 @@ type CSVObserver struct {
 
 // NewCSVObserver creates a CSV sink writing to w; see NewJSONLObserver for
 // ownership conventions.
+//
+// Deprecated: use sinks.NewCSV (see ptbsim/sinks for the wire-format
+// stability guarantee). This alias is permanent but frozen.
 func NewCSVObserver(w io.Writer) *CSVObserver {
 	return &CSVObserver{w: csv.NewWriter(w), cores: -1}
 }
@@ -303,6 +310,9 @@ func (m *MemoryObserver) Reset() {
 // ReadTelemetry parses a JSONL telemetry stream (the JSONLObserver format)
 // back into samples, in stream order. Run-completion records and blank
 // lines are skipped; malformed lines fail with their line number.
+//
+// Deprecated: use sinks.ReadTelemetry (see ptbsim/sinks for the
+// wire-format stability guarantee). This alias is permanent but frozen.
 func ReadTelemetry(r io.Reader) ([]Sample, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)

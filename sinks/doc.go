@@ -1,0 +1,27 @@
+// Package sinks is the stable home of ptbsim's telemetry wire formats:
+// the JSONL and CSV observer sinks, the in-memory sink, and the
+// ReadTelemetry parser.
+//
+// # Stability guarantee
+//
+// The wire formats produced by the sinks in this package are a stable
+// contract, independent of the Go API:
+//
+//   - JSONL: one JSON object per line. Sample lines use the snake_case
+//     schema pinned on Sample's json tags. Run-completion lines are
+//     distinguished by a "run" key holding the Config wire form, with
+//     optional "result" (the Result wire form, including its
+//     self-verifying "digest"), "cached" and "error" fields. New fields
+//     may be added; existing keys are never renamed, retyped or removed.
+//   - CSV: a header row derived from the feed's core count, then one row
+//     per sample; column order is append-only.
+//
+// Streams written by any released version remain parseable by
+// ReadTelemetry in every later version.
+//
+// The concrete types are declared in the root ptbsim package (they embed
+// root types like Config and Result, so the dependency must point this
+// way) and aliased here; the two import paths name identical types, and
+// values flow freely between them. New code should import this package —
+// the root-level constructors are kept as deprecated aliases.
+package sinks

@@ -1,0 +1,43 @@
+package sinks
+
+import (
+	"io"
+
+	"ptbsim"
+)
+
+// Sample is one epoch of telemetry; see ptbsim.Sample. Its JSON field
+// names are the stable JSONL wire schema.
+type Sample = ptbsim.Sample
+
+// Observer consumes telemetry samples as a run records them; see
+// ptbsim.Observer.
+type Observer = ptbsim.Observer
+
+// RunObserver is optionally implemented by an Observer to also receive
+// run-completion events; see ptbsim.RunObserver.
+type RunObserver = ptbsim.RunObserver
+
+// JSONLObserver streams telemetry as JSON Lines in the stable wire
+// schema; see the package documentation for the format guarantee.
+type JSONLObserver = ptbsim.JSONLObserver
+
+// CSVObserver streams telemetry as CSV with an append-only column order;
+// see the package documentation for the format guarantee.
+type CSVObserver = ptbsim.CSVObserver
+
+// MemoryObserver retains samples and run-completion events in memory.
+type MemoryObserver = ptbsim.MemoryObserver
+
+// NewJSONL creates a JSONL sink writing to w. The caller owns w's
+// buffering and closing.
+func NewJSONL(w io.Writer) *JSONLObserver { return ptbsim.NewJSONLObserver(w) }
+
+// NewCSV creates a CSV sink writing to w; see NewJSONL for ownership
+// conventions.
+func NewCSV(w io.Writer) *CSVObserver { return ptbsim.NewCSVObserver(w) }
+
+// ReadTelemetry parses a JSONL telemetry stream (the JSONLObserver
+// format) back into samples, in stream order. Run-completion records and
+// blank lines are skipped; malformed lines fail with their line number.
+func ReadTelemetry(r io.Reader) ([]Sample, error) { return ptbsim.ReadTelemetry(r) }

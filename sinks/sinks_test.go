@@ -1,0 +1,93 @@
+package sinks_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"ptbsim"
+	"ptbsim/sinks"
+)
+
+// TestAliasesAreRootTypes proves the two import paths name identical
+// types: a sink built here plugs into the root experiment API unchanged.
+func TestAliasesAreRootTypes(t *testing.T) {
+	var buf bytes.Buffer
+	var o sinks.Observer = sinks.NewJSONL(&buf)
+	if _, ok := o.(ptbsim.Observer); !ok {
+		t.Fatal("sinks.Observer value does not satisfy ptbsim.Observer")
+	}
+	var _ *ptbsim.JSONLObserver = sinks.NewJSONL(&buf)
+	var _ *ptbsim.CSVObserver = sinks.NewCSV(&buf)
+	var _ *ptbsim.MemoryObserver = &sinks.MemoryObserver{}
+}
+
+// TestJSONLRoundTripThroughExperiment drives a real run through a sinks
+// JSONL observer and parses the stream back with sinks.ReadTelemetry.
+func TestJSONLRoundTripThroughExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	o := sinks.NewJSONL(&buf)
+	e := ptbsim.NewExperiment(ptbsim.WithScale(0.02), ptbsim.WithObserver(256, o))
+	res, err := e.Run(context.Background(), ptbsim.Config{
+		Benchmark: "fft", Cores: 2, Technique: ptbsim.None,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sinks.ReadTelemetry(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples on the wire")
+	}
+	for i, s := range samples {
+		if s.Bench != "fft" || s.Cores != 2 {
+			t.Fatalf("sample %d tagged %s/%d, want fft/2", i, s.Bench, s.Cores)
+		}
+	}
+	_ = res
+}
+
+// TestJSONLRunRecordCarriesDigest pins that run-completion records embed
+// the self-verifying result digest on the wire.
+func TestJSONLRunRecordCarriesDigest(t *testing.T) {
+	var buf bytes.Buffer
+	o := sinks.NewJSONL(&buf)
+	e := ptbsim.NewExperiment(ptbsim.WithScale(0.02), ptbsim.WithObserver(0, o))
+	res, err := e.Run(context.Background(), ptbsim.Config{
+		Benchmark: "radix", Cores: 2, Technique: ptbsim.None,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"digest":"`+res.Digest()[:20]) {
+		t.Fatalf("run record lacks the result digest; stream:\n%s", buf.String())
+	}
+}
+
+// TestCSVHeader pins the CSV header's leading stable columns.
+func TestCSVHeader(t *testing.T) {
+	var buf bytes.Buffer
+	o := sinks.NewCSV(&buf)
+	e := ptbsim.NewExperiment(ptbsim.WithScale(0.02), ptbsim.WithObserver(256, o))
+	if _, err := e.Run(context.Background(), ptbsim.Config{
+		Benchmark: "fft", Cores: 2, Technique: ptbsim.None,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	header, _, ok := strings.Cut(buf.String(), "\n")
+	if !ok {
+		t.Fatal("no CSV output")
+	}
+	if !strings.HasPrefix(header, "bench,cores,tech,policy,epoch,cycle,cycles,partial,budget_pj") {
+		t.Fatalf("CSV header drifted: %s", header)
+	}
+}

@@ -1,0 +1,256 @@
+package ptbsim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func submitTestConfig(bench string) Config {
+	return Config{Benchmark: bench, Cores: 2, Technique: None}
+}
+
+func TestSubmitAwaitMatchesRun(t *testing.T) {
+	e := NewExperiment(WithScale(0.01), WithParallelism(2))
+	defer e.Close()
+	ctx := context.Background()
+	cfg := submitTestConfig("barnes")
+
+	want, err := e.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := e.Submit(ctx, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := job.Await(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("Submit did not share the cached Result pointer with Run")
+	}
+	if !job.Cached() {
+		t.Error("job.Cached() = false after a prior Run of the same config")
+	}
+	if job.State() != JobDone {
+		t.Errorf("job.State() = %v, want JobDone", job.State())
+	}
+	if got.Digest() != want.Digest() {
+		t.Errorf("digest mismatch: %s vs %s", got.Digest(), want.Digest())
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	e := NewExperiment(WithScale(0.01))
+	defer e.Close()
+	if _, err := e.Submit(context.Background(), Config{Benchmark: "nope", Cores: 2}, 0); err == nil {
+		t.Fatal("Submit accepted an unknown benchmark")
+	}
+}
+
+func TestSubmitDedupsConcurrent(t *testing.T) {
+	e := NewExperiment(WithScale(0.01), WithParallelism(2))
+	defer e.Close()
+	ctx := context.Background()
+	cfg := submitTestConfig("ocean")
+
+	const n = 16
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		j, err := e.Submit(ctx, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	var first *Result
+	coalesced := 0
+	for i, j := range jobs {
+		res, err := j.Await(ctx)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if first == nil {
+			first = res
+		} else if res != first {
+			t.Fatalf("job %d resolved a different Result pointer", i)
+		}
+		if j.Cached() || j.Coalesced() {
+			coalesced++
+		}
+	}
+	if coalesced != n-1 {
+		t.Errorf("coalesced+cached = %d, want %d (single-flight)", coalesced, n-1)
+	}
+}
+
+func TestSubmitBackpressure(t *testing.T) {
+	e := NewExperiment(WithScale(0.01), WithParallelism(1), WithQueue(1))
+	defer e.Close()
+	ctx := context.Background()
+	if e.QueueCap() != 1 {
+		t.Fatalf("QueueCap() = %d, want 1", e.QueueCap())
+	}
+
+	// Occupy the single worker and fill the single queue slot, then
+	// overflow. Distinct benchmarks keep the keys distinct.
+	benches := []string{"barnes", "ocean", "radix", "fft"}
+	var accepted []*Job
+	var overflowed bool
+	for _, b := range benches {
+		j, err := e.Submit(ctx, submitTestConfig(b), 0)
+		if err != nil {
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("Submit(%s) = %v, want ErrQueueFull", b, err)
+			}
+			overflowed = true
+			continue
+		}
+		accepted = append(accepted, j)
+	}
+	if !overflowed {
+		t.Skip("workers drained the queue too fast to observe backpressure")
+	}
+	for _, j := range accepted {
+		if _, err := j.Await(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDrainRejectsThenFlushes(t *testing.T) {
+	e := NewExperiment(WithScale(0.01), WithParallelism(2))
+	ctx := context.Background()
+	j, err := e.Submit(ctx, submitTestConfig("barnes"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != JobDone {
+		t.Errorf("accepted job state after Drain = %v, want JobDone", j.State())
+	}
+	if e.CacheLen() != 1 {
+		t.Errorf("CacheLen() = %d after drain, want 1", e.CacheLen())
+	}
+	if _, err := e.Submit(ctx, submitTestConfig("ocean"), 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit after Drain = %v, want ErrDraining", err)
+	}
+}
+
+// countingCache wraps the default map backend to prove WithCache feeds
+// every entry point through the pluggable backend.
+type countingCache struct {
+	mu   sync.Mutex
+	m    map[string]*Result
+	puts int
+	gets int
+}
+
+func (c *countingCache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	r, ok := c.m[key]
+	return r, ok
+}
+
+func (c *countingCache) Put(key string, r *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*Result)
+	}
+	c.m[key] = r
+	c.puts++
+}
+
+func (c *countingCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func TestWithCacheBackendSharedByRunAndSubmit(t *testing.T) {
+	cc := &countingCache{}
+	e := NewExperiment(WithScale(0.01), WithParallelism(2), WithCache(cc))
+	defer e.Close()
+	ctx := context.Background()
+	cfg := submitTestConfig("barnes")
+
+	res, err := e.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.puts != 1 {
+		t.Fatalf("backend puts = %d after Run, want 1", cc.puts)
+	}
+	j, err := e.Submit(ctx, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.Await(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res || !j.Cached() {
+		t.Fatal("Submit did not hit the pluggable backend populated by Run")
+	}
+	if cc.puts != 1 {
+		t.Errorf("backend puts = %d after cached Submit, want still 1", cc.puts)
+	}
+}
+
+func TestSubmitEmitsOneProgressPerSubmission(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	e := NewExperiment(WithScale(0.01), WithParallelism(2), WithProgress(func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}))
+	defer e.Close()
+	ctx := context.Background()
+	cfg := submitTestConfig("barnes")
+
+	j1, err := e.Submit(ctx, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Await(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := e.Submit(ctx, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j2.Await(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("progress events = %d, want 2 (one per submission)", len(events))
+	}
+	if events[0].Cached {
+		t.Error("first submission reported Cached")
+	}
+	if !events[1].Cached {
+		t.Error("second submission of same config not reported Cached")
+	}
+}
