@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check chaos golden bench bench-baseline bench-compare bench-smoke serve-smoke profile fuzz fmt vet
+.PHONY: all build test test-short race race-intra check chaos golden bench bench-baseline bench-compare bench-smoke serve-smoke profile fuzz fmt vet
 
 all: build test
 
@@ -20,6 +20,16 @@ test-short:
 
 race:
 	$(GO) test -race -shuffle=on -count=1 -short ./...
+
+# The intra-run tile-parallelism conformance matrix under the race
+# detector: technique × policy × fault cells with every chip sharded
+# across goroutine tiles (the suite drives par-intra 2/4/8 internally),
+# plus the partition package's property tests. CI's partition-conformance
+# job runs exactly this (DESIGN.md §13).
+race-intra:
+	$(GO) test -race -count=1 -short -v \
+		-run 'TestIntraParallel|TestStepZeroAllocSteadyState' ./internal/sim/
+	$(GO) test -race -count=1 -v ./internal/partition/
 
 # Full technique×benchmark matrix with the runtime invariant layer on,
 # failing on any conservation/consistency violation or digest drift.
@@ -56,11 +66,12 @@ bench-compare:
 
 # The CI regression gate, runnable locally: the hot-loop benchmarks plus
 # one figure benchmark against the committed baseline, failing on any
-# regression beyond 15%.
+# regression beyond 15%. -par-intra also gates the big-chip intra-scaling
+# speedup (par-intra=8 vs serial), enforced only when GOMAXPROCS >= 8.
 bench-smoke:
 	( $(GO) test -run xxx -bench 'BenchmarkSimStep' -benchtime 3s ./internal/sim/ ; \
 	  $(GO) test -run xxx -bench 'BenchmarkFig9PolicySweep' -benchtime 1x . ) \
-	| $(GO) run ./cmd/ptbbench -compare BENCH_baseline.json -fail-over 15
+	| $(GO) run ./cmd/ptbbench -compare BENCH_baseline.json -fail-over 15 -par-intra 2
 
 # End-to-end gate for the serving layer: boot ptbserve with a store,
 # hammer it with concurrent duplicate sweeps via ptbload (single-flight
@@ -86,6 +97,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzConfigValidate -fuzztime 30s .
 	$(GO) test -run xxx -fuzz FuzzParseFaultSpec -fuzztime 30s .
 	$(GO) test -run xxx -fuzz FuzzParseTelemetrySpec -fuzztime 30s .
+	$(GO) test -run xxx -fuzz FuzzParseIntraParallel -fuzztime 30s .
 
 fmt:
 	gofmt -l -w .

@@ -40,6 +40,9 @@ import (
 type Bench struct {
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -N name
+	// suffix; 1 when absent). Wall-clock speedup gates consult it.
+	Procs int `json:"procs,omitempty"`
 	// Metrics holds any b.ReportMetric extras (unit → value).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -52,7 +55,7 @@ type Baseline struct {
 	Benchmarks map[string]Bench `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
 
 // parse reads `go test -bench` output and returns the benchmarks plus the
 // reported cpu line, if any.
@@ -69,12 +72,17 @@ func parse(r *bufio.Scanner) (map[string]Bench, string, error) {
 		if m == nil {
 			continue
 		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
+		iters, err := strconv.ParseInt(m[3], 10, 64)
 		if err != nil {
 			return nil, "", fmt.Errorf("bad iteration count in %q: %w", line, err)
 		}
-		b := Bench{Iterations: iters}
-		fields := strings.Fields(m[3])
+		b := Bench{Iterations: iters, Procs: 1}
+		if m[2] != "" {
+			if p, err := strconv.Atoi(m[2]); err == nil {
+				b.Procs = p
+			}
+		}
+		fields := strings.Fields(m[4])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -109,6 +117,29 @@ func checkInvariantOverhead(bs map[string]Bench) (pct float64, ok bool) {
 	return (on.NsPerOp/off.NsPerOp - 1) * 100, true
 }
 
+// intraSerial and intraSharded are the big-chip intra-scaling pair emitted
+// by internal/sim's BenchmarkSimStepBigChip: the same 64-core PTB chip
+// stepped serially and across 8 goroutine tiles.
+const (
+	intraSerial  = "BenchmarkSimStepBigChip/par-intra=1"
+	intraSharded = "BenchmarkSimStepBigChip/par-intra=8"
+	intraTiles   = 8
+)
+
+// checkIntraScaling reports the wall-clock speedup of the sharded big-chip
+// run over the serial one, plus the GOMAXPROCS it ran under (tile
+// parallelism cannot win wall-clock when the process has fewer CPUs than
+// tiles, so the gate in main only enforces with enough processors).
+// Returns ok=false when the pair is absent.
+func checkIntraScaling(bs map[string]Bench) (speedup float64, procs int, ok bool) {
+	serial, okS := bs[intraSerial]
+	sharded, okP := bs[intraSharded]
+	if !okS || !okP || sharded.NsPerOp == 0 {
+		return 0, 0, false
+	}
+	return serial.NsPerOp / sharded.NsPerOp, sharded.Procs, true
+}
+
 // checkTelemetryOverhead does the same single-run comparison for the
 // observability layer (DESIGN.md §11): BenchmarkSimStepTelemetry samples
 // at the default epoch, so the pair bounds what an attached recorder
@@ -134,6 +165,8 @@ func main() {
 	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op regression in -compare mode")
 	failOver := flag.Float64("fail-over", -1,
 		"CI gate mode: fail when any benchmark regresses more than this many percent (overrides -tol)")
+	parIntra := flag.Float64("par-intra", 0,
+		"require the big-chip intra-scaling pair (BenchmarkSimStepBigChip, par-intra=8 vs serial) to show at least this × wall-clock speedup; enforced only when the run had GOMAXPROCS >= 8")
 	profFlags := prof.Register(nil)
 	flag.Parse()
 	stopProf, err := profFlags.Start()
@@ -162,6 +195,18 @@ func main() {
 	}
 	if pct, ok := checkTelemetryOverhead(benches); ok {
 		fmt.Printf("telemetry layer step overhead (sampling vs off): %+.2f%%\n", pct)
+	}
+	if sp, procs, ok := checkIntraScaling(benches); ok {
+		fmt.Printf("big-chip intra speedup (par-intra=%d vs serial): %.2fx at GOMAXPROCS=%d\n", intraTiles, sp, procs)
+		if *parIntra > 0 {
+			if procs < intraTiles {
+				fmt.Printf("note: GOMAXPROCS=%d < %d tiles — wall-clock speedup is not measurable here; -par-intra gate skipped\n", procs, intraTiles)
+			} else if sp < *parIntra {
+				fail("big-chip intra speedup %.2fx is below the required %.2fx", sp, *parIntra)
+			}
+		}
+	} else if *parIntra > 0 {
+		fail("-par-intra: intra-scaling pair (%s, %s) missing from stdin", intraSerial, intraSharded)
 	}
 
 	if *save != "" {

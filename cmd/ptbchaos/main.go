@@ -62,6 +62,7 @@ func main() {
 		assert   = flag.Bool("assert-monotone", false, "exit 1 unless the energy-accuracy error is non-decreasing in the drop rate for every core count")
 		quiet    = flag.Bool("q", false, "suppress per-run progress")
 		outPath  = flag.String("o", "", "output file (default stdout)")
+		parIn    = flag.Int("par-intra", 0, "shard each simulated chip across up to this many goroutine-stepped tiles (0 = serial; each chip uses the largest divisor of its core count that fits; output is identical at any value)")
 	)
 	pol := ptbsim.Dynamic
 	flag.Var(&pol, "policy", "PTB policy: "+strings.Join(ptbsim.PolicyNames(), ", "))
@@ -114,6 +115,9 @@ func main() {
 	opts := []ptbsim.Option{
 		ptbsim.WithScale(*scale),
 		ptbsim.WithParallelism(*par),
+	}
+	if *parIn > 0 {
+		opts = append(opts, ptbsim.WithIntraParallel(*parIn))
 	}
 	if *check {
 		opts = append(opts, ptbsim.WithInvariants())

@@ -26,6 +26,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"ptbsim"
@@ -35,8 +37,12 @@ import (
 func main() {
 	var (
 		scale   = flag.Float64("scale", 0.25, "workload scale (matches the committed baseline)")
-		cores   = flag.Int("cores", 4, "CMP size for the matrix")
+		cores   = flag.String("cores", "4", "comma-separated CMP sizes for the matrix")
+		benches = flag.String("benches", "", "comma-separated benchmarks (default: all 14)")
+		techsIn = flag.String("techs", "", "comma-separated techniques (default: all)")
+		cluster = flag.Int("cluster", 0, "PTB cluster size applied to the PTB-family runs (0 = one chip-wide balancer)")
 		par     = flag.Int("par", runtime.NumCPU(), "parallel simulations (output is identical at any value)")
+		parIn   = flag.Int("par-intra", 0, "shard each simulated chip across up to this many goroutine-stepped tiles (0 = serial; each chip uses the largest divisor of its core count that fits; digests are identical at any value)")
 		check   = flag.Bool("check", true, "enable runtime invariant checks on every run")
 		quiet   = flag.Bool("q", false, "suppress per-run progress")
 		outPath = flag.String("o", "", "output file (default stdout)")
@@ -82,6 +88,9 @@ func main() {
 	if faults.Spec != nil {
 		opts = append(opts, ptbsim.WithFaults(*faults.Spec))
 	}
+	if *parIn > 0 {
+		opts = append(opts, ptbsim.WithIntraParallel(*parIn))
+	}
 	if telemetry.Spec != nil {
 		tel, closeTel, err := telemetry.Spec.Start()
 		if err != nil {
@@ -105,28 +114,58 @@ func main() {
 	}
 	e := ptbsim.NewExperiment(opts...)
 
+	techNames := ptbsim.TechniqueNames()
+	techLabel := "all"
+	if *techsIn != "" {
+		techNames = strings.Split(*techsIn, ",")
+		techLabel = *techsIn
+	}
 	var techs []ptbsim.Technique
-	for _, name := range ptbsim.TechniqueNames() {
+	for _, name := range techNames {
 		t, err := ptbsim.ParseTechnique(name)
 		if err != nil {
 			fail(err)
 		}
 		techs = append(techs, t)
 	}
+	var coreCounts []int
+	for _, s := range strings.Split(*cores, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fail(fmt.Errorf("ptbgolden: bad -cores entry %q: %w", s, err))
+		}
+		coreCounts = append(coreCounts, n)
+	}
 	sweep := ptbsim.Sweep{
-		CoreCounts: []int{*cores},
+		CoreCounts: coreCounts,
 		Techniques: techs,
 		// The PTB family runs its headline Dynamic policy; the policy
 		// dimension collapses for every other technique.
 		Policies: []ptbsim.Policy{ptbsim.Dynamic},
 	}
-	results, err := e.RunSweep(ctx, sweep)
+	if *benches != "" {
+		sweep.Benchmarks = strings.Split(*benches, ",")
+	}
+	cfgs := sweep.Configs()
+	if *cluster > 0 {
+		for i := range cfgs {
+			if cfgs[i].Technique == ptbsim.PTB || cfgs[i].Technique == ptbsim.PTBSpinGate {
+				cfgs[i].PTBClusterSize = *cluster
+			}
+		}
+	}
+	results, err := e.RunAll(ctx, cfgs)
 	if err != nil {
 		fail(err)
 	}
 
 	w := bufio.NewWriter(out)
-	fmt.Fprintf(w, "# golden run digests: cores=%d scale=%g techniques=all policies=dynamic\n", *cores, *scale)
+	benchLabel := "all"
+	if *benches != "" {
+		benchLabel = *benches
+	}
+	fmt.Fprintf(w, "# golden run digests: cores=%s scale=%g benchmarks=%s techniques=%s policies=dynamic cluster=%d\n",
+		*cores, *scale, benchLabel, techLabel, *cluster)
 	fmt.Fprintf(w, "# regenerate: go generate ./...  (or: make golden)\n")
 	for _, r := range results {
 		fmt.Fprintln(w, r.Digest())

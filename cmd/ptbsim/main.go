@@ -36,6 +36,7 @@ func main() {
 		check   = flag.Bool("check", false, "enable runtime invariant checks (fails on any violation)")
 		listAll = flag.Bool("list", false, "list benchmarks and exit")
 		asJSON  = flag.Bool("json", false, "emit the result as JSON")
+		parIn   = flag.String("par-intra", "1", "shard the simulated chip across this many goroutine-stepped tiles (a divisor of -cores; results are bit-identical at any legal value)")
 	)
 	// The typed flag.Values validate at parse time through the library's
 	// parsers, so unknown names fail loudly with the canonical errors
@@ -65,6 +66,11 @@ func main() {
 		return
 	}
 
+	tiles, err := ptbsim.ParseIntraParallel(*parIn, *cores)
+	if err != nil {
+		fail(err)
+	}
+
 	cfg := ptbsim.Config{
 		Benchmark:             *bench,
 		Cores:                 *cores,
@@ -76,6 +82,7 @@ func main() {
 		PessimisticPTBLatency: *pessim,
 		CheckInvariants:       *check,
 		Faults:                faults.Spec,
+		IntraParallel:         tiles,
 	}
 	if telemetry.Spec != nil {
 		tel, closeTel, err := telemetry.Spec.Start()

@@ -60,6 +60,7 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, md, csv")
 		check   = flag.Bool("check", false, "enable runtime invariant checks on every run (fails on any violation)")
 		outPath = flag.String("o", "", "write output to this file instead of stdout (for go:generate)")
+		parIn   = flag.Int("par-intra", 0, "shard each simulated chip across up to this many goroutine-stepped tiles (0 = serial; each chip uses the largest divisor of its core count that fits; output is identical at any value)")
 	)
 	var faults fault.Flag
 	flag.Var(&faults, "faults", "fault-injection spec applied to every run, e.g. seed=42,drop=0.25")
@@ -112,6 +113,7 @@ func main() {
 	r.SetParallelism(*par)
 	r.CheckInvariants = *check
 	r.Faults = faults.Spec
+	r.IntraParallel = *parIn
 	if telemetry.Spec != nil {
 		tel, closeTel, err := telemetry.Spec.Start()
 		if err != nil {

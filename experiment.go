@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ptbsim/internal/partition"
 	"ptbsim/internal/sched"
 	"ptbsim/internal/sim"
 )
@@ -36,19 +37,20 @@ type Progress struct {
 // progress. All methods are safe for concurrent use. Returned Results are
 // shared across callers and must be treated as read-only.
 type Experiment struct {
-	scale       float64
-	maxCycles   int64
-	parallelism int
-	invariants  bool
-	faults      *FaultSpec
-	runTimeout  time.Duration
-	retries     int
-	backoff     time.Duration
-	progress    func(Progress)
-	observer    Observer
-	obsEvery    int64
-	obsRing     int
-	telemetry   *Telemetry // shared serialized Telemetry built from observer
+	scale         float64
+	maxCycles     int64
+	parallelism   int
+	invariants    bool
+	faults        *FaultSpec
+	intraParallel int
+	runTimeout    time.Duration
+	retries       int
+	backoff       time.Duration
+	progress      func(Progress)
+	observer      Observer
+	obsEvery      int64
+	obsRing       int
+	telemetry     *Telemetry // shared serialized Telemetry built from observer
 
 	cacheBackend ResultCache // nil = default in-memory cache
 	queueCap     int         // Submit queue bound; 0 = unbounded
@@ -129,6 +131,19 @@ func WithRetryBackoff(d time.Duration) Option {
 // own.
 func WithProgress(fn func(Progress)) Option {
 	return func(e *Experiment) { e.progress = fn }
+}
+
+// WithIntraParallel shards every run the experiment executes across up to
+// n tiles of goroutine-stepped cores: each chip uses the largest divisor
+// of its core count not exceeding n, so one setting works across a sweep
+// mixing core counts (configs that set their own IntraParallel keep it,
+// and those are validated strictly). Like telemetry, intra-run sharding
+// never enters the cache key: results are bit-identical at every legal
+// tile count (the conformance suite in internal/sim pins this), so a
+// serial and a sharded request for the same configuration share one
+// simulation.
+func WithIntraParallel(n int) Option {
+	return func(e *Experiment) { e.intraParallel = n }
 }
 
 // WithObserver streams epoch telemetry from every run the experiment
@@ -216,12 +231,25 @@ func (e *Experiment) normalize(cfg Config) Config {
 	if cfg.Observe == nil && e.telemetry != nil {
 		cfg.Observe = e.telemetry
 	}
+	if cfg.IntraParallel == 0 && e.intraParallel > 0 {
+		// The experiment-level default means "up to n tiles": each chip is
+		// sharded across the largest divisor of its core count that fits,
+		// so one setting works across a sweep mixing core counts. Explicit
+		// per-config IntraParallel stays strict (Validate rejects
+		// non-divisors).
+		cores := cfg.Cores
+		if cores == 0 {
+			cores = 4 // the documented Cores default
+		}
+		cfg.IntraParallel = partition.Fit(cores, e.intraParallel)
+	}
 	return cfg
 }
 
 // key canonicalizes a normalized config into the engine cache key. The key
-// is built from the result-determining fields explicitly — Observe stays
-// out by construction, since telemetry can never change a result.
+// is built from the result-determining fields explicitly — Observe and
+// IntraParallel stay out by construction: telemetry can never change a
+// result, and intra-run sharding is proven bit-identical to serial.
 func (e *Experiment) key(cfg Config) string {
 	faults := "-"
 	if cfg.Faults != nil {

@@ -39,7 +39,14 @@ func goldenMatrixSweep(t *testing.T) ptbsim.Sweep {
 // by the golden regression gate and the zero-rate fault identity test.
 func readGoldenMatrix(t *testing.T) []string {
 	t.Helper()
-	raw, err := os.ReadFile("testdata/golden/matrix_scale025.txt")
+	return readGoldenFile(t, "testdata/golden/matrix_scale025.txt")
+}
+
+// readGoldenFile loads the digest lines of any committed golden file,
+// skipping comments and blanks.
+func readGoldenFile(t *testing.T, path string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("reading golden file (regenerate with `go generate ./...`): %v", err)
 	}
@@ -71,42 +78,102 @@ func TestGoldenMatrixDigests(t *testing.T) {
 	}
 	want := readGoldenMatrix(t)
 
+	// par-intra=1 is the serial baseline; par-intra=8 clamps to the
+	// maximal partition of the matrix's 4-core chips (single-core tiles,
+	// the experiment default means "up to n") and must reproduce the
+	// committed digests byte-for-byte too.
+	for _, parIntra := range []int{1, 8} {
+		t.Run(fmt.Sprintf("par-intra=%d", parIntra), func(t *testing.T) {
+			e := ptbsim.NewExperiment(
+				ptbsim.WithScale(0.25),
+				ptbsim.WithParallelism(8),
+				ptbsim.WithInvariants(),
+				ptbsim.WithIntraParallel(parIntra),
+			)
+			results, err := e.RunSweep(context.Background(), goldenMatrixSweep(t))
+			if err != nil {
+				t.Fatalf("golden matrix run failed (invariant violation?): %v", err)
+			}
+			if len(results) != len(want) {
+				t.Fatalf("golden matrix has %d runs, golden file has %d digests", len(results), len(want))
+			}
+			for i, r := range results {
+				if got := r.Digest(); got != want[i] {
+					t.Errorf("digest drift at line %d:\n got  %s\n want %s", i+1, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenMatrixBigChip reruns the committed 64- and 256-core mini-matrix
+// (testdata/golden/matrix_bigchip.txt) with every chip sharded across 8
+// goroutine tiles and compares digests byte-for-byte. It is both halves of
+// the big-chip acceptance: the post-paper chip sizes stay pinned, and the
+// partition layer reproduces them exactly at par-intra=8. The grid must
+// match the go:generate ptbgolden invocation in ptbsim.go.
+func TestGoldenMatrixBigChip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-chip matrix (8 runs up to 256 cores) skipped in -short")
+	}
+	want := readGoldenFile(t, "testdata/golden/matrix_bigchip.txt")
+
+	sweep := ptbsim.Sweep{
+		Benchmarks: []string{"ocean", "fft"},
+		CoreCounts: []int{64, 256},
+		Techniques: []ptbsim.Technique{ptbsim.None, ptbsim.PTB},
+		Policies:   []ptbsim.Policy{ptbsim.Dynamic},
+	}
+	cfgs := sweep.Configs()
+	for i := range cfgs {
+		if cfgs[i].Technique == ptbsim.PTB {
+			cfgs[i].PTBClusterSize = 16
+		}
+	}
 	e := ptbsim.NewExperiment(
-		ptbsim.WithScale(0.25),
-		ptbsim.WithParallelism(8),
+		ptbsim.WithScale(0.01),
 		ptbsim.WithInvariants(),
+		ptbsim.WithIntraParallel(8),
 	)
-	results, err := e.RunSweep(context.Background(), goldenMatrixSweep(t))
+	results, err := e.RunAll(context.Background(), cfgs)
 	if err != nil {
-		t.Fatalf("golden matrix run failed (invariant violation?): %v", err)
+		t.Fatalf("big-chip matrix run failed (invariant violation?): %v", err)
 	}
 	if len(results) != len(want) {
-		t.Fatalf("golden matrix has %d runs, golden file has %d digests", len(results), len(want))
+		t.Fatalf("big-chip matrix has %d runs, golden file has %d digests", len(results), len(want))
 	}
 	for i, r := range results {
 		if got := r.Digest(); got != want[i] {
-			t.Errorf("digest drift at line %d:\n got  %s\n want %s", i+1, got, want[i])
+			t.Errorf("big-chip digest drift at line %d (par-intra=8):\n got  %s\n want %s", i+1, got, want[i])
 		}
 	}
 }
 
 // TestDigestParallelismIndependence runs the same configurations through a
-// serial and an 8-way-parallel experiment and demands byte-identical
-// digests: simulations are single-threaded and deterministic, so sweep
-// parallelism must never leak into results.
+// serial and an 8-way-parallel experiment — the latter also sharding each
+// chip across up to 8 goroutine tiles — and demands byte-identical
+// digests: neither sweep parallelism nor intra-run tile parallelism may
+// ever leak into results. The mixed core counts (2 and 4) also exercise
+// the experiment-level clamp: WithIntraParallel(8) must fit itself to
+// every chip instead of rejecting the sweep.
 func TestDigestParallelismIndependence(t *testing.T) {
 	cfgs := []ptbsim.Config{
 		{Benchmark: "ocean", Cores: 4, Technique: ptbsim.None},
 		{Benchmark: "ocean", Cores: 4, Technique: ptbsim.PTB, Policy: ptbsim.Dynamic},
 		{Benchmark: "raytrace", Cores: 4, Technique: ptbsim.PTB, Policy: ptbsim.ToOne},
+		{Benchmark: "fft", Cores: 2, Technique: ptbsim.PTB, Policy: ptbsim.Dynamic},
 		{Benchmark: "fft", Cores: 4, Technique: ptbsim.TwoLevel},
 	}
 	digests := func(par int) []string {
-		e := ptbsim.NewExperiment(
+		opts := []ptbsim.Option{
 			ptbsim.WithScale(0.05),
 			ptbsim.WithParallelism(par),
 			ptbsim.WithInvariants(),
-		)
+		}
+		if par > 1 {
+			opts = append(opts, ptbsim.WithIntraParallel(par))
+		}
+		e := ptbsim.NewExperiment(opts...)
 		results, err := e.RunAll(context.Background(), cfgs)
 		if err != nil {
 			t.Fatalf("par=%d: %v", par, err)

@@ -25,23 +25,50 @@ const (
 	dirOwned                    // one owner (E/M/O), possibly plus sharers
 )
 
+// sharerMaskWords sizes the directory sharer bitset: 2 cache IDs per core
+// (L1I and L1D interleaved), 64 IDs per word. Eight words cover a 256-core
+// chip. A single uint64 — the original representation — silently dropped
+// every sharer with CacheID ≥ 64, which capped correct coherence at 32
+// cores; the fixed-size array keeps dirEntry a flat value with no
+// per-entry allocation.
+const sharerMaskWords = 8
+
+// sharerMask is an exact bitset over CacheID.
+type sharerMask [sharerMaskWords]uint64
+
+func (m *sharerMask) add(c CacheID)      { m[uint(c)>>6] |= 1 << (uint(c) & 63) }
+func (m *sharerMask) drop(c CacheID)     { m[uint(c)>>6] &^= 1 << (uint(c) & 63) }
+func (m *sharerMask) has(c CacheID) bool { return m[uint(c)>>6]&(1<<(uint(c)&63)) != 0 }
+func (m *sharerMask) clear()             { *m = sharerMask{} }
+
+func (m *sharerMask) empty() bool {
+	for _, w := range m {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 type dirEntry struct {
 	state   dirState
 	owner   CacheID
-	sharers uint64 // bitmask over CacheID
+	sharers sharerMask
 	busy    bool
 	queue   []any
 }
 
-func (e *dirEntry) addSharer(c CacheID)     { e.sharers |= 1 << uint(c) }
-func (e *dirEntry) dropSharer(c CacheID)    { e.sharers &^= 1 << uint(c) }
-func (e *dirEntry) isSharer(c CacheID) bool { return e.sharers&(1<<uint(c)) != 0 }
+func (e *dirEntry) addSharer(c CacheID)     { e.sharers.add(c) }
+func (e *dirEntry) dropSharer(c CacheID)    { e.sharers.drop(c) }
+func (e *dirEntry) isSharer(c CacheID) bool { return e.sharers.has(c) }
 
 func (e *dirEntry) sharerList() []CacheID {
 	var out []CacheID
-	for m, i := e.sharers, 0; m != 0; m, i = m>>1, i+1 {
-		if m&1 != 0 {
-			out = append(out, CacheID(i))
+	for w, word := range e.sharers {
+		for m, i := word, 0; m != 0; m, i = m>>1, i+1 {
+			if m&1 != 0 {
+				out = append(out, CacheID(w*64+i))
+			}
 		}
 	}
 	return out
@@ -150,7 +177,7 @@ func (h *HomeBank) handleGetS(line uint64, e *dirEntry, m msgGetS) {
 		// Grant exclusive-clean (the E optimization of MOESI).
 		e.state = dirOwned
 		e.owner = m.req
-		e.sharers = 0
+		e.sharers.clear()
 		h.supplyData(line, m.req, true, 0, false)
 	case dirShared:
 		e.addSharer(m.req)
@@ -169,7 +196,7 @@ func (h *HomeBank) handleGetX(line uint64, e *dirEntry, m msgGetX) {
 	case dirUncached:
 		e.state = dirOwned
 		e.owner = m.req
-		e.sharers = 0
+		e.sharers.clear()
 		h.supplyData(line, m.req, true, 0, false)
 	case dirShared:
 		acks := 0
@@ -184,7 +211,7 @@ func (h *HomeBank) handleGetX(line uint64, e *dirEntry, m msgGetX) {
 		hadCopy := e.isSharer(m.req)
 		e.state = dirOwned
 		e.owner = m.req
-		e.sharers = 0
+		e.sharers.clear()
 		h.supplyData(line, m.req, true, acks, hadCopy)
 	case dirOwned:
 		if e.owner == m.req {
@@ -199,7 +226,7 @@ func (h *HomeBank) handleGetX(line uint64, e *dirEntry, m msgGetX) {
 				h.invs++
 				h.send(cacheNode(s), ctrlFlits, msgInv{line: line, sharer: s, req: m.req})
 			}
-			e.sharers = 0
+			e.sharers.clear()
 			h.send(cacheNode(m.req), ctrlFlits, msgData{line: line, dest: m.req, excl: true, acks: acks, noData: true})
 			return
 		}
@@ -216,7 +243,7 @@ func (h *HomeBank) handleGetX(line uint64, e *dirEntry, m msgGetX) {
 		h.send(cacheNode(e.owner), ctrlFlits, msgFwdGetX{line: line, owner: e.owner, req: m.req})
 		h.send(cacheNode(m.req), ctrlFlits, msgAckCount{line: line, dest: m.req, acks: acks})
 		e.owner = m.req
-		e.sharers = 0
+		e.sharers.clear()
 	}
 }
 
@@ -225,7 +252,7 @@ func (h *HomeBank) handlePut(line uint64, e *dirEntry, m msgPut) {
 	case putS:
 		// Fire-and-forget sharer eviction.
 		e.dropSharer(m.req)
-		if e.state == dirShared && e.sharers == 0 {
+		if e.state == dirShared && e.sharers.empty() {
 			e.state = dirUncached
 		}
 	case putE, putM:
@@ -241,7 +268,7 @@ func (h *HomeBank) handlePut(line uint64, e *dirEntry, m msgPut) {
 			h.data.insert(line)
 		}
 		e.owner = -1
-		if e.sharers != 0 {
+		if !e.sharers.empty() {
 			e.state = dirShared
 		} else {
 			e.state = dirUncached

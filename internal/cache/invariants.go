@@ -22,8 +22,8 @@ func (h *Hierarchy) CheckDirectoryEntries() error {
 		for line, e := range bank.lines {
 			switch e.state {
 			case dirUncached:
-				if e.sharers != 0 {
-					return fmt.Errorf("bank %d line %#x: uncached but sharer set %#x", node, line, e.sharers)
+				if !e.sharers.empty() {
+					return fmt.Errorf("bank %d line %#x: uncached but sharer set %v", node, line, e.sharerList())
 				}
 			case dirShared:
 			case dirOwned:

@@ -40,7 +40,7 @@ func TestCheckDirectoryEntriesDetectsCorruption(t *testing.T) {
 	}{
 		{"uncached-with-sharers", func(e *dirEntry) {
 			e.state = dirUncached
-			e.sharers = 1
+			e.addSharer(0)
 		}, "uncached but sharer set"},
 		{"out-of-range-owner", func(e *dirEntry) {
 			e.state = dirOwned

@@ -73,14 +73,22 @@ type Latency struct {
 func (l Latency) Total() int64 { return l.Send + l.Process + l.Return }
 
 // LatencyFor returns the paper's Xilinx-derived latencies by core count.
+// The paper's synthesis table stops at 16 cores; the 64- and 256-core rows
+// extrapolate by mesh diameter (send/return wires grow with the chip edge,
+// the balancer's adder tree by log of the core count), enabling the
+// post-paper big-chip configurations the partition layer unlocks.
 func LatencyFor(nCores int) Latency {
 	switch {
 	case nCores <= 4:
 		return Latency{1, 1, 1}
 	case nCores <= 8:
 		return Latency{2, 1, 2}
-	default:
+	case nCores <= 16:
 		return Latency{4, 2, 4}
+	case nCores <= 64:
+		return Latency{6, 3, 6}
+	default:
+		return Latency{8, 4, 8}
 	}
 }
 

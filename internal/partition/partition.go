@@ -1,0 +1,318 @@
+// Package partition shards one simulated chip into tiles — contiguous
+// ranges of cores with their private L1s, workload generators and power
+// meter slots — and steps each tile on its own goroutine inside a sync
+// quantum, while keeping the simulation bit-for-bit identical to the serial
+// schedule.
+//
+// # Determinism model
+//
+// A global cycle has two phases. In the *event phase* the coordinator runs
+// the shared event queue up to the cycle (protocol messages, mesh hops,
+// memory replies — everything cross-tile happens here, serially). In the
+// *tick phase* every core walks its pipeline. The tick phase touches only
+// tile-local state — each core's pipeline, its own L1s, its own meter
+// slots, its own workload generator — with exactly two exceptions: an L1
+// hit schedules its completion callback on the shared event queue, and an
+// L1 miss injects a coherence message into the shared mesh. Both are
+// intercepted by a per-core Port: during the tick phase the Port records
+// the operation into a staging spool instead of performing it; once every
+// tile has finished the cycle, the coordinator drains the spools in
+// ascending core order. The serial simulator ticks cores in ascending
+// order too, so the merged sequence of event-queue insertions, mesh link
+// reservations, fault-RNG draws and power-meter charges is *identical* to
+// the serial one — not merely equivalent. Staging is active even with one
+// tile, which is what makes "par-intra=N ≡ serial" provable byte-for-byte
+// rather than merely plausible: both schedules run the same code.
+//
+// # Quantum derivation
+//
+// Tiles may run isolated from each other for at most QuantumCycles before
+// exchanging traffic. The bound comes from the fastest possible cross-core
+// interaction: a mesh message injected at cycle t is delivered no earlier
+// than t + routerDelay (node-local delivery; remote traffic additionally
+// pays serialization and linkLatency per hop). Delivering staged traffic at
+// quantum boundaries is therefore invisible to the simulation as long as
+// the quantum does not exceed that minimum latency. With the Table-1 mesh
+// (routerDelay 1) the usable quantum is exactly one cycle — which the
+// chip-wide budget controller, running every cycle between tick phases,
+// would force anyway.
+package partition
+
+import (
+	"fmt"
+	"sync"
+
+	"ptbsim/internal/eventq"
+	"ptbsim/internal/mesh"
+)
+
+// QuantumCycles returns the sound sync-quantum length in cycles for a mesh
+// with the given per-hop router delay: the minimum cross-tile delivery
+// latency, floored at one cycle. Tiles stepping longer than this between
+// staged-traffic exchanges could observe messages late; the simulator
+// asserts rather than assumes the bound.
+func QuantumCycles(routerDelay int64) int64 {
+	if routerDelay < 1 {
+		return 1
+	}
+	return routerDelay
+}
+
+// Fit returns the largest legal tile count for an nCores chip that does
+// not exceed want: the greatest divisor of nCores in [1, want]. Sweep-level
+// callers (experiment defaults, the sweep CLIs) use it to apply one
+// par-intra setting across mixed core counts — sound because results are
+// bit-identical at every legal tile count, so rounding the tile count down
+// is a scheduling decision, never a results decision.
+func Fit(nCores, want int) int {
+	if nCores < 1 || want < 1 {
+		return 1
+	}
+	if want > nCores {
+		want = nCores
+	}
+	for d := want; d > 1; d-- {
+		if nCores%d == 0 {
+			return d
+		}
+	}
+	return 1
+}
+
+// opKind discriminates staged operations.
+type opKind uint8
+
+const (
+	opAfter opKind = iota // eventq.Queue.After
+	opSend                // mesh.Mesh.Send
+)
+
+// op is one staged tick-phase operation, replayed verbatim at the quantum
+// boundary.
+type op struct {
+	kind    opKind
+	delay   int64  // opAfter: completion delay in cycles
+	fn      func() // opAfter: completion callback
+	src     int    // opSend
+	dst     int    // opSend
+	flits   int    // opSend
+	payload any    // opSend
+}
+
+// Port is one core's staged gateway to the shared event queue and mesh. It
+// satisfies the cache layer's FrontPort interface. Outside the tick phase
+// (protocol receives, directory responses, the invariant drain) calls pass
+// straight through; inside it they are spooled. The spool's backing array
+// is retained across cycles, so a warmed-up Port stages without allocating.
+type Port struct {
+	run *Run
+	q   *eventq.Queue
+	net *mesh.Mesh
+	ops []op
+}
+
+// After schedules fn to run delay cycles from now, staging it during the
+// tick phase. Arrival cycles are unaffected by staging: the event queue's
+// "now" does not advance between the tick phase and the drain.
+func (p *Port) After(delay int64, fn func()) {
+	if !p.run.inTick {
+		p.q.After(delay, fn)
+		return
+	}
+	p.ops = append(p.ops, op{kind: opAfter, delay: delay, fn: fn})
+}
+
+// Send injects a message into the mesh, staging it during the tick phase.
+// Link serialization, contention bookkeeping, fault-RNG draws and NoC
+// energy charges all happen at drain time, in ascending core order — the
+// exact order the serial tick loop produced them.
+func (p *Port) Send(src, dst, flits int, payload any) {
+	if !p.run.inTick {
+		p.net.Send(src, dst, flits, payload)
+		return
+	}
+	p.ops = append(p.ops, op{kind: opSend, src: src, dst: dst, flits: flits, payload: payload})
+}
+
+// drain replays the spool in FIFO order and resets it, dropping references
+// so spooled callbacks and payloads do not outlive the cycle.
+func (p *Port) drain() {
+	for i := range p.ops {
+		o := &p.ops[i]
+		switch o.kind {
+		case opAfter:
+			p.q.After(o.delay, o.fn)
+		case opSend:
+			p.net.Send(o.src, o.dst, o.flits, o.payload)
+		}
+		o.fn, o.payload = nil, nil
+	}
+	p.ops = p.ops[:0]
+}
+
+// Staged reports the number of operations currently spooled (tests).
+func (p *Port) Staged() int { return len(p.ops) }
+
+// tile is one contiguous core range [lo, hi).
+type tile struct{ lo, hi int }
+
+// Run coordinates the tile workers and staging ports of one simulated chip
+// for the lifetime of a simulation.
+type Run struct {
+	inTick bool
+	ports  []*Port
+	tiles  []tile
+
+	tick  func(core int)
+	inert func(core int)
+
+	// Worker machinery, built lazily on the first parallel cycle so a
+	// system that is constructed but never stepped starts no goroutines.
+	started bool
+	stopped bool
+	fast    bool
+	start   []chan struct{}
+	wg      sync.WaitGroup
+	panics  []any
+}
+
+// New builds the partition runner for nCores cores split into nTiles
+// contiguous tiles. nTiles must be in [1, nCores] and divide nCores — the
+// caller's validation layer reports friendlier typed errors; this one is
+// the backstop.
+func New(nCores, nTiles int, q *eventq.Queue, net *mesh.Mesh) (*Run, error) {
+	if nTiles < 1 || nTiles > nCores || nCores%nTiles != 0 {
+		return nil, fmt.Errorf("partition: %d tiles cannot shard %d cores (need a divisor in [1, %d])", nTiles, nCores, nCores)
+	}
+	r := &Run{
+		ports:  make([]*Port, nCores),
+		tiles:  make([]tile, nTiles),
+		panics: make([]any, nTiles),
+	}
+	for i := range r.ports {
+		r.ports[i] = &Port{run: r, q: q, net: net}
+	}
+	per := nCores / nTiles
+	for t := range r.tiles {
+		r.tiles[t] = tile{lo: t * per, hi: (t + 1) * per}
+	}
+	return r, nil
+}
+
+// Tiles reports the tile count.
+func (r *Run) Tiles() int { return len(r.tiles) }
+
+// Port returns core's staging port, to be installed as that core's L1
+// front-side gateway.
+func (r *Run) Port(core int) *Port { return r.ports[core] }
+
+// Bind installs the per-core tick functions: tick is the full pipeline
+// walk, inert the skip-ahead replay for provably quiescent cycles.
+func (r *Run) Bind(tick, inert func(core int)) {
+	r.tick, r.inert = tick, inert
+}
+
+// Cycle runs one tick phase across all tiles and drains the staged traffic.
+// With fast set, every core is known quiescent: the inert replay is cheap
+// and strictly tile-local, so it runs on the coordinator — parallel dispatch
+// would cost more in barrier overhead than the replay itself. Full tick
+// phases fan out to the tile workers when more than one tile is configured.
+func (r *Run) Cycle(fast bool) {
+	r.inTick = true
+	if fast {
+		for c := 0; c < len(r.ports); c++ {
+			r.inert(c)
+		}
+	} else if len(r.tiles) > 1 {
+		// The coordinator doubles as tile 0's worker: it would otherwise
+		// idle in wg.Wait while the workers run, and every handshake saved
+		// matters — the wake/park pair costs about a microsecond per worker
+		// per cycle, which is the entire overhead budget of a tile.
+		r.ensureWorkers()
+		r.fast = false
+		r.wg.Add(len(r.tiles) - 1)
+		for _, ch := range r.start[1:] {
+			ch <- struct{}{}
+		}
+		r.tileCycle(0)
+		r.wg.Wait()
+	} else {
+		t := r.tiles[0]
+		for c := t.lo; c < t.hi; c++ {
+			r.tick(c)
+		}
+	}
+	r.inTick = false
+	for _, p := range r.ports {
+		p.drain()
+	}
+	for t, v := range r.panics {
+		if v != nil {
+			r.panics[t] = nil
+			panic(v)
+		}
+	}
+}
+
+// ensureWorkers starts one goroutine per tile beyond the first on first
+// use (tile 0 runs on the coordinator). Workers park on an unbuffered
+// start channel between cycles; the channel send/receive pair plus the
+// WaitGroup establish the happens-before edges that make the tick phase
+// visible to the race detector as properly synchronized.
+func (r *Run) ensureWorkers() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.start = make([]chan struct{}, len(r.tiles))
+	for t := 1; t < len(r.tiles); t++ {
+		r.start[t] = make(chan struct{})
+		go r.worker(t)
+	}
+}
+
+// worker is one tile's goroutine: it waits for the cycle start signal, runs
+// its tile, and reports completion. It exits when the start channel closes.
+func (r *Run) worker(t int) {
+	for range r.start[t] {
+		r.tileCycle(t)
+		r.wg.Done()
+	}
+}
+
+// tileCycle steps every core of tile t for one cycle. A panic inside a core
+// tick is captured and re-raised on the coordinator after the barrier, so a
+// simulation bug surfaces exactly like it does in the serial schedule
+// (where the scheduler's panic-recovery turns it into a run error) instead
+// of killing the process from a nameless goroutine.
+func (r *Run) tileCycle(t int) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.panics[t] = v
+		}
+	}()
+	tl := r.tiles[t]
+	if r.fast {
+		for c := tl.lo; c < tl.hi; c++ {
+			r.inert(c)
+		}
+	} else {
+		for c := tl.lo; c < tl.hi; c++ {
+			r.tick(c)
+		}
+	}
+}
+
+// Stop terminates the tile workers. Idempotent; the Run remains usable for
+// serial (pass-through) event processing afterwards, which the invariant
+// layer's end-of-run queue drain relies on.
+func (r *Run) Stop() {
+	if !r.started || r.stopped {
+		r.stopped = true
+		return
+	}
+	r.stopped = true
+	for _, ch := range r.start[1:] {
+		close(ch)
+	}
+}

@@ -1,0 +1,178 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ptbsim/internal/eventq"
+)
+
+// TestQuantumCycles pins the sync-quantum derivation: the usable quantum is
+// the minimum cross-tile delivery latency (the router delay of node-local
+// delivery), floored at one cycle.
+func TestQuantumCycles(t *testing.T) {
+	for _, tc := range []struct{ routerDelay, want int64 }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {4, 4},
+	} {
+		if got := QuantumCycles(tc.routerDelay); got != tc.want {
+			t.Errorf("QuantumCycles(%d) = %d, want %d", tc.routerDelay, got, tc.want)
+		}
+	}
+}
+
+// TestFit pins the sweep-level clamp: the largest divisor of the core
+// count not exceeding the requested tile count, with 1 as the floor for
+// any degenerate input.
+func TestFit(t *testing.T) {
+	for _, tc := range []struct{ cores, want, fit int }{
+		{8, 8, 8}, {8, 5, 4}, {8, 3, 2}, {8, 1, 1},
+		{2, 8, 2}, {6, 4, 3}, {7, 6, 1}, {64, 48, 32},
+		{4, 0, 1}, {4, -2, 1}, {0, 8, 1},
+	} {
+		if got := Fit(tc.cores, tc.want); got != tc.fit {
+			t.Errorf("Fit(%d, %d) = %d, want %d", tc.cores, tc.want, got, tc.fit)
+		}
+	}
+	// The result is always a legal New shard.
+	for cores := 1; cores <= 32; cores++ {
+		for want := 1; want <= 32; want++ {
+			var q eventq.Queue
+			r, err := New(cores, Fit(cores, want), &q, nil)
+			if err != nil {
+				t.Fatalf("New(%d, Fit(%d, %d)): %v", cores, cores, want, err)
+			}
+			r.Stop()
+		}
+	}
+}
+
+// TestNewRejectsBadShards pins the backstop validation: tile counts must be
+// divisors of the core count in [1, nCores].
+func TestNewRejectsBadShards(t *testing.T) {
+	var q eventq.Queue
+	for _, tc := range []struct{ cores, tiles int }{
+		{8, 0}, {8, -1}, {8, 3}, {8, 16}, {6, 4},
+	} {
+		if _, err := New(tc.cores, tc.tiles, &q, nil); err == nil {
+			t.Errorf("New(%d cores, %d tiles) accepted a non-divisor shard", tc.cores, tc.tiles)
+		}
+	}
+	if _, err := New(8, 4, &q, nil); err != nil {
+		t.Errorf("New(8, 4) rejected a legal shard: %v", err)
+	}
+}
+
+// opSchedule is one randomly drawn tick-phase workload: for each core, the
+// delays of the After operations it stages during the cycle.
+type opSchedule [][]int64
+
+// mergedOrder runs one tick phase of the schedule across nTiles tiles and
+// returns the order in which the staged completions actually execute. Each
+// completion is tagged core.seq, so the returned sequence is exactly the
+// merged event order the rest of the simulator would observe.
+func mergedOrder(t *testing.T, sched opSchedule, nTiles int) []string {
+	t.Helper()
+	var q eventq.Queue
+	r, err := New(len(sched), nTiles, &q, nil)
+	if err != nil {
+		t.Fatalf("New(%d cores, %d tiles): %v", len(sched), nTiles, err)
+	}
+	defer r.Stop()
+	var got []string
+	r.Bind(func(c int) {
+		for k, d := range sched[c] {
+			c, k := c, k
+			r.Port(c).After(d, func() {
+				got = append(got, fmt.Sprintf("%d.%d", c, k))
+			})
+		}
+	}, func(int) {})
+	r.Cycle(false)
+	q.RunUntil(1 << 20)
+	return got
+}
+
+// TestRandomPartitionsPreserveMergedOrder is the property test behind the
+// conformance suite: for random chip sizes, random (legal) tile partitions
+// and random per-core operation schedules, the merged completion order of a
+// sharded tick phase is identical to the serial one. The staging ports
+// drain in ascending core order at the quantum barrier, so this must hold
+// for every partition — not just the ones the short matrix samples.
+func TestRandomPartitionsPreserveMergedOrder(t *testing.T) {
+	prop := func(coreSel, tileSel uint8, seed int64) bool {
+		nCores := 1 + int(coreSel)%64
+		var divs []int
+		for d := 1; d <= nCores; d++ {
+			if nCores%d == 0 {
+				divs = append(divs, d)
+			}
+		}
+		nTiles := divs[int(tileSel)%len(divs)]
+		rng := rand.New(rand.NewSource(seed))
+		sched := make(opSchedule, nCores)
+		for c := range sched {
+			for k, n := 0, rng.Intn(4); k < n; k++ {
+				sched[c] = append(sched[c], int64(1+rng.Intn(6)))
+			}
+		}
+		serial := mergedOrder(t, sched, 1)
+		sharded := mergedOrder(t, sched, nTiles)
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Logf("%d cores / %d tiles:\n serial  %v\n sharded %v", nCores, nTiles, serial, sharded)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPortPassThroughOutsideTick pins the Port contract that the event
+// phase relies on: outside the tick phase nothing is staged — operations
+// reach the shared queue immediately, in call order.
+func TestPortPassThroughOutsideTick(t *testing.T) {
+	var q eventq.Queue
+	r, err := New(4, 2, &q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	ran := false
+	r.Port(2).After(1, func() { ran = true })
+	if staged := r.Port(2).Staged(); staged != 0 {
+		t.Fatalf("pass-through After staged %d ops", staged)
+	}
+	q.RunUntil(1)
+	if !ran {
+		t.Fatal("pass-through After never executed")
+	}
+}
+
+// TestCyclePropagatesTilePanics pins that a panic inside a worker-stepped
+// core tick resurfaces on the coordinator — simulation bugs must fail the
+// run exactly like the serial schedule does, not kill the process from a
+// nameless goroutine.
+func TestCyclePropagatesTilePanics(t *testing.T) {
+	var q eventq.Queue
+	r, err := New(8, 4, &q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	r.Bind(func(c int) {
+		if c == 5 {
+			panic("tile bug")
+		}
+	}, func(int) {})
+	defer func() {
+		if v := recover(); v != "tile bug" {
+			t.Fatalf("recovered %v, want the tile panic", v)
+		}
+	}()
+	r.Cycle(false)
+	t.Fatal("Cycle returned instead of re-panicking")
+}

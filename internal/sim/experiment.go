@@ -13,6 +13,7 @@ import (
 	"ptbsim/internal/mesh"
 	"ptbsim/internal/metrics"
 	"ptbsim/internal/obs"
+	"ptbsim/internal/partition"
 	"ptbsim/internal/power"
 	"ptbsim/internal/sched"
 	"ptbsim/internal/workload"
@@ -57,6 +58,13 @@ type Runner struct {
 	// part of the cache key — it cannot change results — so cached runs
 	// emit no samples; only fresh simulations stream.
 	Observe *obs.Config
+	// IntraParallel shards each simulated chip across up to that many
+	// goroutine-stepped tiles (see Config.IntraParallel; 0 = serial):
+	// every run uses the largest divisor of its core count that fits, so
+	// one setting serves the figure sweeps' mixed core counts. Set before
+	// the first run. Like telemetry it stays out of the cache key:
+	// results are bit-identical at every legal tile count.
+	IntraParallel int
 	// Progress, when non-nil, receives one line per fresh (uncached) run.
 	Progress io.Writer
 
@@ -151,6 +159,7 @@ func (r *Runner) simulate(ctx context.Context, bench string, cores int, tech Tec
 		Invariants:    r.CheckInvariants,
 		Faults:        r.Faults,
 		Observe:       r.Observe,
+		IntraParallel: partition.Fit(cores, r.IntraParallel),
 	})
 }
 

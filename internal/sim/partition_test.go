@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ptbsim/internal/core"
+	"ptbsim/internal/fault"
+	"ptbsim/internal/obs"
+)
+
+// conformanceConfigs is the short conformance matrix: every technique under
+// its distinct controller stack, the PTB family across all three policies,
+// the clustered balancer, and fault-injected runs — each with the runtime
+// invariant layer on. The -race CI job runs exactly this matrix at
+// par-intra=8 (see Makefile race-intra).
+func conformanceConfigs() []Config {
+	cfgs := []Config{
+		tiny("ocean", 8, TechNone, core.PolicyToAll),
+		tiny("ocean", 8, TechDVFS, core.PolicyToAll),
+		tiny("fft", 8, TechDFS, core.PolicyToAll),
+		tiny("fluidanimate", 8, Tech2Level, core.PolicyToAll),
+		tiny("ocean", 8, TechMaxBIPS, core.PolicyToAll),
+		tiny("ocean", 8, TechPTB, core.PolicyToAll),
+		tiny("fluidanimate", 8, TechPTB, core.PolicyToOne),
+		tiny("raytrace", 8, TechPTB, core.PolicyDynamic),
+		tiny("barnes", 8, TechPTBSpinGate, core.PolicyDynamic),
+	}
+	clustered := tiny("ocean", 8, TechPTB, core.PolicyDynamic)
+	clustered.PTBClusterSize = 4
+	cfgs = append(cfgs, clustered)
+	faulted := tiny("ocean", 8, TechPTB, core.PolicyDynamic)
+	faulted.Faults = &fault.Spec{Seed: 7, TokenDrop: 0.01, SensorNoise: 0.02, LinkStall: 0.005, FlitCorrupt: 0.002}
+	cfgs = append(cfgs, faulted)
+	zeroFault := tiny("fft", 8, TechPTB, core.PolicyToAll)
+	zeroFault.Faults = &fault.Spec{Seed: 3}
+	cfgs = append(cfgs, zeroFault)
+	return cfgs
+}
+
+func conformanceName(cfg Config) string {
+	name := cfg.Benchmark.Name + "/" + string(cfg.Technique)
+	if cfg.Technique == TechPTB || cfg.Technique == TechPTBSpinGate {
+		name += "/" + cfg.Policy.String()
+	}
+	if cfg.PTBClusterSize > 0 {
+		name += "/clustered"
+	}
+	if cfg.Faults != nil {
+		name += "+faults"
+	}
+	return name
+}
+
+// TestIntraParallelConformance is the tentpole acceptance suite: for every
+// configuration of the short matrix, sharding the chip across 2, 4 and 8
+// tiles must reproduce the serial run exactly — every result field,
+// including the float-valued energy ledgers whose last-ULP rounding depends
+// on accumulation order. reflect.DeepEqual over the full RunResult is
+// strictly stronger than comparing digests. Invariants stay on, so each
+// parallel schedule also re-certifies the conservation laws.
+func TestIntraParallelConformance(t *testing.T) {
+	for _, base := range conformanceConfigs() {
+		t.Run(conformanceName(base), func(t *testing.T) {
+			serialCfg := base
+			serialCfg.IntraParallel = 1
+			serialCfg.Invariants = true
+			serial, err := RunContext(t.Context(), serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tiles := range []int{2, 4, 8} {
+				cfg := base
+				cfg.IntraParallel = tiles
+				cfg.Invariants = true
+				got, err := RunContext(t.Context(), cfg)
+				if err != nil {
+					t.Fatalf("par-intra=%d: %v", tiles, err)
+				}
+				if !reflect.DeepEqual(got, serial) {
+					t.Errorf("par-intra=%d diverges from serial:\n par    %+v\n serial %+v", tiles, got, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestIntraParallelComposesWithObservability pins that the telemetry
+// recorder — whose epoch fills run at the quantum barrier, never inside the
+// tick phase — sees identical samples from a sharded run, and that the
+// skip-ahead fast path still engages under sharding.
+func TestIntraParallelComposesWithObservability(t *testing.T) {
+	run := func(tiles int) ([]obs.Sample, *System) {
+		cfg := tiny("ocean", 8, TechPTB, core.PolicyDynamic)
+		cfg.IntraParallel = tiles
+		cfg.Invariants = true
+		cfg.Observe = &obs.Config{Every: 512, Ring: 4096}
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunContext(t.Context()); err != nil {
+			t.Fatal(err)
+		}
+		return s.Telemetry().Samples(), s
+	}
+	serial, _ := run(1)
+	sharded, s := run(8)
+	if len(serial) == 0 {
+		t.Fatal("telemetry recorded no samples")
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatalf("telemetry diverges between serial and par-intra=8 (%d vs %d samples)", len(serial), len(sharded))
+	}
+	if s.FastCycles() == 0 {
+		t.Fatal("skip-ahead never engaged under sharding")
+	}
+}
+
+// TestIntraParallelBigChips runs the post-paper chip sizes the partition
+// layer unlocks — 64 cores chip-wide and 256 cores under the clustered
+// balancer — serial vs. maximally sharded, invariants on. Scales are tiny:
+// the point is exercising the 8×8 and 16×16 meshes and the big-chip PTB
+// latency rows, not throughput.
+func TestIntraParallelBigChips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-chip conformance skipped in -short")
+	}
+	big := func(cores, cluster int, scale float64) Config {
+		cfg := tiny("ocean", cores, TechPTB, core.PolicyDynamic)
+		cfg.WorkloadScale = scale
+		cfg.PTBClusterSize = cluster
+		cfg.Invariants = true
+		return cfg
+	}
+	for _, cfg := range []Config{big(64, 0, 0.02), big(256, 16, 0.01)} {
+		t.Run(fmt.Sprintf("%dcores", cfg.Cores), func(t *testing.T) {
+			serialCfg := cfg
+			serialCfg.IntraParallel = 1
+			serial, err := RunContext(t.Context(), serialCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parCfg := cfg
+			parCfg.IntraParallel = cfg.Cores / 8
+			par, err := RunContext(t.Context(), parCfg)
+			if err != nil {
+				t.Fatalf("par-intra=%d: %v", parCfg.IntraParallel, err)
+			}
+			if !reflect.DeepEqual(par, serial) {
+				t.Errorf("par-intra=%d diverges from serial on %d cores", parCfg.IntraParallel, cfg.Cores)
+			}
+		})
+	}
+}
+
+// TestIntraParallelRejectsBadTileCounts pins the validation backstop at the
+// sim layer (the public Config.Validate adds the typed sentinel on top).
+func TestIntraParallelRejectsBadTileCounts(t *testing.T) {
+	for _, tiles := range []int{-1, 3, 16} {
+		cfg := tiny("ocean", 8, TechNone, core.PolicyToAll)
+		cfg.IntraParallel = tiles
+		if _, err := NewSystem(cfg); err == nil {
+			t.Errorf("NewSystem accepted IntraParallel=%d on 8 cores", tiles)
+		}
+	}
+}

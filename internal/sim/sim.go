@@ -20,6 +20,7 @@ import (
 	"ptbsim/internal/mesh"
 	"ptbsim/internal/metrics"
 	"ptbsim/internal/obs"
+	"ptbsim/internal/partition"
 	"ptbsim/internal/power"
 	"ptbsim/internal/syncprim"
 	"ptbsim/internal/thermal"
@@ -84,6 +85,14 @@ type Config struct {
 	// scalability scheme for >32-core CMPs).
 	PTBClusterSize int
 
+	// IntraParallel shards the chip into that many tiles stepped by
+	// separate goroutines inside the sync quantum (see internal/partition).
+	// It must divide Cores; 0 selects the default 1 (serial). Results are
+	// bit-identical at every legal value — the conformance suite and the
+	// golden matrix pin this — so it is purely a wall-clock knob for big
+	// chips.
+	IntraParallel int
+
 	// Observe, when non-nil, wires the epoch-sampled telemetry recorder
 	// into the run: one obs.Sample per Observe.Every cycles, recorded into
 	// a preallocated ring and streamed to Observe.Sink. The recorder only
@@ -131,6 +140,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 50_000_000
 	}
+	if c.IntraParallel == 0 {
+		c.IntraParallel = 1
+	}
 	if c.CPU.ROBSize == 0 {
 		c.CPU = cpu.DefaultConfig()
 	}
@@ -154,6 +166,7 @@ type System struct {
 	meter  *power.Meter
 	hier   *cache.Hierarchy
 	net    *mesh.Mesh
+	par    *partition.Run
 	sync   *syncprim.Table
 	cores  []*cpu.Core
 	gens   []*workload.Generator
@@ -198,6 +211,17 @@ func NewSystem(cfg Config) (*System, error) {
 	s.hier = cache.NewHierarchy(n, s.q, s.meter, s.net, cfg.Cache)
 	s.sync = syncprim.NewTable(n, spec.NumLocks, 1)
 
+	// The intra-run partition layer. Every run goes through it — serial
+	// runs use a single tile — so the tick phase always stages its event
+	// and mesh traffic and drains it in ascending core order: the one code
+	// path is its own conformance proof (see internal/partition).
+	par, err := partition.New(n, cfg.IntraParallel, s.q, s.net)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s.par = par
+	s.hier.InstallPorts(func(core int) cache.FrontPort { return s.par.Port(core) })
+
 	tm := power.NewTokenModel()
 	if cfg.TokenGroups > 0 {
 		tm = power.NewTokenModelK(cfg.TokenGroups)
@@ -208,6 +232,10 @@ func NewSystem(cfg Config) (*System, error) {
 		s.gens = append(s.gens, gen)
 		s.cores = append(s.cores, cpu.New(i, cfg.CPU, s.meter, tm, mem, s.sync, gen))
 	}
+	s.par.Bind(
+		func(i int) { s.cores[i].Tick() },
+		func(i int) { s.cores[i].TickInert() },
+	)
 
 	// The budget is a fraction of the processor's rated peak (§III.C);
 	// the rated peak derates the structural worst case per
@@ -513,6 +541,9 @@ func (s *System) done() bool {
 // skip-ahead fast path (diagnostics; not part of any digest).
 func (s *System) FastCycles() int64 { return s.fastCycles }
 
+// IntraParallel reports the tile count the chip is sharded into.
+func (s *System) IntraParallel() int { return s.par.Tiles() }
+
 // coresQuiescent reports whether every core proves its next tick inert.
 func (s *System) coresQuiescent() bool {
 	for _, c := range s.cores {
@@ -525,31 +556,37 @@ func (s *System) coresQuiescent() bool {
 
 // Step advances the simulation by exactly one global cycle.
 //
+// The cycle is a strict two-phase schedule. The *event phase* runs the
+// shared event queue up to the cycle on the coordinating goroutine: mesh
+// hops, protocol handlers, memory replies — everything that crosses tile
+// boundaries. The *tick phase* walks every core's pipeline through the
+// partition layer: each tile's cores tick on their own goroutine (or all
+// on the coordinator when IntraParallel is 1), touching only tile-local
+// state; the L1s' event-queue and mesh injections are spooled by per-core
+// ports and drained in ascending core order at the quantum barrier, which
+// reproduces the serial schedule's merged order exactly. Everything after
+// the tick phase (leakage, budget refresh, sensor perturbation, controller
+// tick, meter fold, collector/thermal recording, telemetry, invariants)
+// runs serially on the coordinator.
+//
 // The idle skip-ahead: when no event is due this cycle and every core
 // reports a provably inert tick (cpu.NextWake > 0), the per-core pipeline
 // walk is replaced by cpu.TickInert — an exact replay of what Tick would
-// have done on a quiescent cycle. Everything after the core loop (leakage,
-// budget refresh, sensor perturbation, controller tick, meter fold,
-// collector/thermal recording, invariants) runs identically on both paths,
-// so a fast cycle is bit-for-bit the same as a full one; the golden-digest
-// matrix enforces this. The gate re-evaluates every cycle, which is what
-// keeps it sound against controllers flipping knobs mid-window and against
-// event callbacks waking a pipeline: any such change flows into the next
-// cycle's NextWake/NextDue before another fast tick can happen.
+// have done on a quiescent cycle. Everything after the core loop runs
+// identically on both paths, so a fast cycle is bit-for-bit the same as a
+// full one; the golden-digest matrix enforces this. The gate re-evaluates
+// every cycle, which is what keeps it sound against controllers flipping
+// knobs mid-window and against event callbacks waking a pipeline: any such
+// change flows into the next cycle's NextWake/NextDue before another fast
+// tick can happen.
 func (s *System) Step() {
 	s.cycle++
 	fast := !s.fastOff && s.q.NextDue() > s.cycle && s.coresQuiescent()
 	s.q.RunUntil(s.cycle)
 	if fast {
 		s.fastCycles++
-		for _, c := range s.cores {
-			c.TickInert()
-		}
-	} else {
-		for _, c := range s.cores {
-			c.Tick()
-		}
 	}
+	s.par.Cycle(fast)
 	for i, c := range s.cores {
 		if c.Knobs().SleepGate {
 			s.meter.Add(i, power.EvLeakageSleep, 1)
@@ -610,6 +647,11 @@ func (s *System) RunContext(ctx context.Context) (*metrics.RunResult, error) {
 		return nil, fmt.Errorf("sim: Run called twice")
 	}
 	s.stopped = true
+	// Park the tile workers once the run ends (including cancellation and
+	// invariant-failure returns) so sweeps never accumulate goroutines; the
+	// partition layer keeps passing events through afterwards, which the
+	// final quiescent-MOESI drain needs.
+	defer s.par.Stop()
 	for {
 		s.Step()
 		if s.done() {

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
+	"ptbsim/internal/core"
 	"ptbsim/internal/obs"
 	"ptbsim/internal/workload"
 )
@@ -52,4 +54,43 @@ func BenchmarkSimStepInvariants(b *testing.B) { benchSteps(b, true, nil) }
 // measurable against BenchmarkSimStep in the same session.
 func BenchmarkSimStepTelemetry(b *testing.B) {
 	benchSteps(b, false, &obs.Config{Every: obs.DefaultEvery, Ring: 1})
+}
+
+// BenchmarkSimStepBigChip is the intra-run scaling benchmark: the per-cycle
+// cost of a live 64-core PTB chip as the tile count grows. par-intra=1 is
+// the serial baseline; the speedup of the par-intra=8 variant over it is
+// the PR-7 acceptance number (≥2×), gated in CI by `ptbbench -par-intra`.
+// Results are bit-identical across the variants (the conformance suite
+// pins that), so this measures wall-clock only.
+func BenchmarkSimStepBigChip(b *testing.B) {
+	spec, ok := workload.ByName("ocean")
+	if !ok {
+		b.Fatal("ocean missing from catalog")
+	}
+	for _, tiles := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par-intra=%d", tiles), func(b *testing.B) {
+			cfg := Config{
+				Benchmark:     spec,
+				Cores:         64,
+				Technique:     TechPTB,
+				Policy:        core.PolicyDynamic,
+				WorkloadScale: 0.05,
+				IntraParallel: tiles,
+			}
+			s, err := NewSystem(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if s.RunCycles(1) {
+					b.StopTimer()
+					if s, err = NewSystem(cfg); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
 }

@@ -38,6 +38,7 @@ package ptbsim
 // numbers, and review the diff like source.
 //
 //go:generate go run ./cmd/ptbgolden -q -o testdata/golden/matrix_scale025.txt
+//go:generate go run ./cmd/ptbgolden -q -cores 64,256 -benches ocean,fft -techs none,ptb -cluster 16 -scale 0.01 -o testdata/golden/matrix_bigchip.txt
 //go:generate go run ./cmd/ptbsweep -exp all -scale 0.25 -q -o results_sweep.txt
 
 import (
@@ -146,6 +147,13 @@ type Config struct {
 	// machine, bit-identically. Faults compose with CheckInvariants: every
 	// conservation invariant keeps holding under injection.
 	Faults *FaultSpec
+	// IntraParallel shards the simulated chip across that many tiles, each
+	// stepped by its own goroutine inside every cycle's tick phase (see
+	// DESIGN.md §13). It must be a divisor of the core count; 0 and 1 both
+	// run serially. Results are bit-identical at every legal value — tile
+	// staging buffers are drained in fixed core order at the quantum
+	// barrier, so sharding is a wall-clock knob, never a model knob.
+	IntraParallel int
 	// Observe, when non-nil, enables epoch-sampled telemetry: every
 	// Observe.Every cycles the run records one Sample (per-core power and
 	// token views, DVFS mode residency, sync-class occupancy, the PTB
@@ -172,6 +180,7 @@ func (c Config) internal() (sim.Config, error) {
 		MaxCycles:      c.MaxCycles,
 		PTBClusterSize: c.PTBClusterSize,
 		Invariants:     c.CheckInvariants,
+		IntraParallel:  c.IntraParallel,
 	}
 	if c.Technique == "" {
 		cfg.Technique = sim.TechNone
