@@ -2,10 +2,13 @@
 // concurrent run or sweep requests — most of them duplicates — and
 // reports what the service's dedup and cache layers did with them:
 // fresh/coalesced/cached counts, hit rates, rejection (429) counts, and
-// client-observed latency percentiles. With every request carrying a
-// result digest, the output doubles as a correctness probe: across
-// concurrency, cache warmth, and server restarts, a configuration must
-// always answer with one byte-identical digest.
+// client-observed latency percentiles. Backpressure is handled the way a
+// well-behaved client should: a 429 is retried within a budget, honoring
+// the server's Retry-After with jitter, and retried versus abandoned
+// requests are reported separately from hard failures. With every request
+// carrying a result digest, the output doubles as a correctness probe:
+// across concurrency, cache warmth, and server restarts, a configuration
+// must always answer with one byte-identical digest.
 //
 // Usage:
 //
@@ -23,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -58,8 +63,28 @@ type outcome struct {
 	cached    int
 	coalesced int
 	failed    int
+	retries   int            // 429 responses retried (honoring Retry-After) before this outcome
+	abandoned bool           // still 429 after the retry budget ran out
 	digests   map[int]string // result slot → digest
 	err       error
+}
+
+// retryAfter turns a 429's Retry-After header into a bounded, jittered
+// sleep: the server's hint (default 1s when absent or unparseable, capped
+// at 10s) plus up to 50% random jitter so a fleet of backed-off clients
+// doesn't stampede back in lockstep.
+func retryAfter(resp *http.Response) time.Duration {
+	secs := 1.0
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if parsed, err := strconv.ParseFloat(v, 64); err == nil && parsed >= 0 {
+			secs = parsed
+		}
+	}
+	if secs > 10 {
+		secs = 10
+	}
+	base := time.Duration(secs * float64(time.Second))
+	return base + time.Duration(rand.Int63n(int64(base/2)+1))
 }
 
 func main() {
@@ -73,6 +98,8 @@ func main() {
 		cores   = flag.String("cores", "2,4", "core counts in the request set")
 		techs   = flag.String("techs", "none,ptb", "techniques in the request set")
 		timeout = flag.Duration("timeout", 10*time.Minute, "per-request timeout")
+
+		retries = flag.Int("retries", 3, "retry budget per request after a 429, honoring Retry-After with jitter (0 = give up immediately)")
 
 		assertSF  = flag.Bool("assert-single-flight", false, "fail unless every unique config was simulated exactly once (fresh == unique)")
 		assertHit = flag.Float64("assert-hit-rate", -1, "fail unless the cached fraction of answered configs is at least this (e.g. 0.99)")
@@ -134,13 +161,29 @@ func main() {
 	post := func(path string, body any) outcome {
 		buf, _ := json.Marshal(body)
 		start := time.Now()
-		resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
-		if err != nil {
-			return outcome{err: err}
+		var resp *http.Response
+		retried := 0
+		for {
+			var err error
+			resp, err = client.Post(base+path, "application/json", bytes.NewReader(buf))
+			if err != nil {
+				return outcome{err: err, retries: retried}
+			}
+			if resp.StatusCode != http.StatusTooManyRequests || retried >= *retries {
+				break
+			}
+			// Backpressure: honor the server's Retry-After (with jitter)
+			// and try again within the budget.
+			sleep := retryAfter(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			retried++
+			time.Sleep(sleep)
 		}
 		defer resp.Body.Close()
-		o := outcome{status: resp.StatusCode, latency: time.Since(start), digests: map[int]string{}}
+		o := outcome{status: resp.StatusCode, latency: time.Since(start), retries: retried, digests: map[int]string{}}
 		if resp.StatusCode != http.StatusOK {
+			o.abandoned = resp.StatusCode == http.StatusTooManyRequests
 			io.Copy(io.Discard, resp.Body)
 			return o
 		}
@@ -208,6 +251,7 @@ func main() {
 	// Aggregate.
 	var (
 		ok, rejected, failedReqs int
+		retried, abandoned       int
 		fresh, cached, coalesced int
 		failedCfgs               int
 		latencies                []time.Duration
@@ -215,6 +259,10 @@ func main() {
 		digestConflict           bool
 	)
 	for _, o := range outcomes {
+		retried += o.retries
+		if o.abandoned {
+			abandoned++
+		}
 		if o.err != nil {
 			failedReqs++
 			fmt.Fprintln(os.Stderr, "ptbload: request error:", o.err)
@@ -260,6 +308,8 @@ func main() {
 	}
 
 	fmt.Printf("requests        %d ok, %d rejected (429), %d errors in %v\n", ok, rejected, failedReqs, wall.Round(time.Millisecond))
+	fmt.Printf("backpressure    %d retried 429s (Retry-After honored), %d abandoned after %d retries\n",
+		retried, abandoned, *retries)
 	fmt.Printf("configs         %d answered: %d fresh, %d coalesced, %d cached, %d failed\n",
 		answered, fresh, coalesced, cached, failedCfgs)
 	fmt.Printf("unique configs  %d\n", unique)

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -46,6 +47,9 @@ func main() {
 		check    = flag.Bool("check", false, "enable runtime invariant checks on every run")
 		drainFor = flag.Duration("drain", 5*time.Minute, "graceful-shutdown budget for finishing accepted jobs")
 	)
+	var checkpoint ptbsim.CheckpointFlag
+	flag.Var(&checkpoint, "checkpoint",
+		"periodic per-run snapshots, e.g. every=1000000,dir=/var/lib/ptbsim/ckpt; interrupted runs resume from the latest snapshot on replay")
 	flag.Parse()
 
 	hub := serve.NewHub()
@@ -58,6 +62,10 @@ func main() {
 	if *check {
 		opts = append(opts, ptbsim.WithInvariants())
 	}
+	if checkpoint.Spec != nil {
+		ck := checkpoint.Spec.Checkpoint()
+		opts = append(opts, ptbsim.WithCheckpoint(ck.Every, ck.Dir))
+	}
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
@@ -67,13 +75,42 @@ func main() {
 			os.Exit(2)
 		}
 		if rej := st.Rejected(); len(rej) > 0 {
-			fmt.Fprintf(os.Stderr, "ptbserve: store: rejected %d corrupt entries: %v\n", len(rej), rej)
+			fmt.Fprintf(os.Stderr, "ptbserve: store: quarantined %d corrupt entries: %v\n", len(rej), rej)
 		}
 		fmt.Fprintf(os.Stderr, "ptbserve: store %s: %d results loaded\n", st.Dir(), st.Len())
 		opts = append(opts, ptbsim.WithCache(st))
 	}
 	exp := ptbsim.NewExperiment(opts...)
 	srv := serve.New(exp, st, hub)
+
+	// Crash recovery: with a persistent store, accepted jobs ride a
+	// write-ahead journal. Replay whatever the last process left pending —
+	// completed jobs resolve as cache hits, interrupted ones recompute (or
+	// resume from their latest snapshot with -checkpoint) — so a SIGKILL
+	// loses zero accepted jobs.
+	var jr *store.Journal
+	if *storeDir != "" {
+		var pending []store.JournalRecord
+		var err error
+		jr, pending, err = store.OpenJournal(filepath.Join(*storeDir, "jobs.wal"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptbserve:", err)
+			os.Exit(2)
+		}
+		defer jr.Close()
+		if torn := jr.Torn(); torn > 0 {
+			fmt.Fprintf(os.Stderr, "ptbserve: journal: dropped %d torn record(s) from the last crash\n", torn)
+		}
+		srv.AttachJournal(jr)
+		if len(pending) > 0 {
+			n, err := srv.ReplayJournal(context.Background(), pending)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ptbserve:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "ptbserve: journal: replaying %d interrupted job(s)\n", n)
+		}
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -66,6 +66,9 @@ func main() {
 	flag.Var(&faults, "faults", "fault-injection spec applied to every run, e.g. seed=42,drop=0.25")
 	var telemetry ptbsim.TelemetryFlag
 	flag.Var(&telemetry, "telemetry", "stream epoch telemetry from every run into one merged feed, e.g. every=2048,out=sweep.jsonl")
+	var checkpoint ptbsim.CheckpointFlag
+	flag.Var(&checkpoint, "checkpoint", "make the sweep resumable through this directory, e.g. every=500000,dir=sweep-ckpt: finished cells persist and are skipped on restart, partial cells snapshot and resume (keys: every, dir, stop)")
+	resume := flag.String("resume", "", "resume the sweep saved in this directory (shorthand for -checkpoint dir=DIR at the default cadence)")
 	profFlags := prof.Register(nil)
 	flag.Parse()
 	stopProf, err := profFlags.Start()
@@ -114,6 +117,33 @@ func main() {
 	r.CheckInvariants = *check
 	r.Faults = faults.Spec
 	r.IntraParallel = *parIn
+	if *resume != "" && checkpoint.Spec == nil {
+		checkpoint.Spec = &ptbsim.CheckpointSpec{Dir: *resume}
+	}
+	if checkpoint.Spec != nil {
+		// One directory makes the whole sweep restartable: completed cells
+		// persist in the cell store and are skipped, partial cells leave a
+		// snapshot and resume mid-run byte-identically.
+		ck := checkpoint.Spec.Checkpoint()
+		st, err := r.SetStore(ck.Dir)
+		if err != nil {
+			fail(err)
+		}
+		if n := st.Rejected(); n > 0 {
+			fmt.Fprintf(os.Stderr, "ptbsweep: %d unreadable cell files skipped (recomputing those cells)\n", n)
+		}
+		if n := st.Len(); n > 0 && !*quiet {
+			fmt.Fprintf(os.Stderr, "ptbsweep: resuming: %d completed cells loaded from %s\n", n, ck.Dir)
+		}
+		r.CheckpointEvery = ck.Every
+		r.CheckpointDir = ck.Dir
+		r.CheckpointStop = ck.StopAfter
+		defer func() {
+			if err := st.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "ptbsweep:", err)
+			}
+		}()
+	}
 	if telemetry.Spec != nil {
 		tel, closeTel, err := telemetry.Spec.Start()
 		if err != nil {
@@ -216,20 +246,25 @@ func fail(err error) {
 		fmt.Fprintln(os.Stderr, "ptbsweep: interrupted")
 		os.Exit(130)
 	}
+	if errors.Is(err, ptbsim.ErrRunStopped) {
+		fmt.Fprintln(os.Stderr, "ptbsweep: crash drill stop:", err)
+		fmt.Fprintln(os.Stderr, "ptbsweep: rerun with the same -checkpoint dir to resume")
+		os.Exit(3)
+	}
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }
 
-// exitOnInterrupt converts the cancellation panic of the legacy Runner
-// path into the same clean exit as fail.
+// exitOnInterrupt converts the cancellation (and crash-drill) panics of
+// the legacy Runner path into the same clean exits as fail.
 func exitOnInterrupt() {
 	p := recover()
 	if p == nil {
 		return
 	}
-	if err, ok := p.(error); ok && errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "ptbsweep: interrupted")
-		os.Exit(130)
+	if err, ok := p.(error); ok &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, ptbsim.ErrRunStopped)) {
+		fail(err)
 	}
 	panic(p)
 }

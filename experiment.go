@@ -43,6 +43,7 @@ type Experiment struct {
 	invariants    bool
 	faults        *FaultSpec
 	intraParallel int
+	checkpoint    *Checkpoint
 	runTimeout    time.Duration
 	retries       int
 	backoff       time.Duration
@@ -146,6 +147,17 @@ func WithIntraParallel(n int) Option {
 	return func(e *Experiment) { e.intraParallel = n }
 }
 
+// WithCheckpoint arms crash-recovery snapshots on every run the
+// experiment executes whose config leaves Checkpoint nil: each run
+// periodically saves a snapshot under dir and resumes from it after a
+// crash, byte-identically (see Checkpoint). Snapshot files are keyed by
+// the config's stable wire JSON, and a run's snapshot is deleted when
+// the run completes. Like telemetry, checkpointing never enters the
+// cache key — it cannot change a result.
+func WithCheckpoint(every int64, dir string) Option {
+	return func(e *Experiment) { e.checkpoint = &Checkpoint{Every: every, Dir: dir} }
+}
+
 // WithObserver streams epoch telemetry from every run the experiment
 // executes into o, sampling every `every` cycles (0 = the default period):
 // the sweep-level merged feed. Samples from concurrently simulating
@@ -231,6 +243,9 @@ func (e *Experiment) normalize(cfg Config) Config {
 	if cfg.Observe == nil && e.telemetry != nil {
 		cfg.Observe = e.telemetry
 	}
+	if cfg.Checkpoint == nil && e.checkpoint != nil {
+		cfg.Checkpoint = e.checkpoint
+	}
 	if cfg.IntraParallel == 0 && e.intraParallel > 0 {
 		// The experiment-level default means "up to n tiles": each chip is
 		// sharded across the largest divisor of its core count that fits,
@@ -267,11 +282,17 @@ func (e *Experiment) key(cfg Config) string {
 // caller's context stayed live is retried after an exponentially growing
 // backoff, up to the configured retry budget.
 func (e *Experiment) execute(ctx context.Context, cfg Config) (*Result, error) {
+	return e.executeWith(ctx, cfg, e.runTimeout)
+}
+
+// executeWith is execute with an explicit per-run deadline (<= 0
+// disables it) — the hook for per-request timeout overrides.
+func (e *Experiment) executeWith(ctx context.Context, cfg Config, timeout time.Duration) (*Result, error) {
 	backoff := e.backoff
 	for attempt := 0; ; attempt++ {
 		runCtx, cancel := ctx, context.CancelFunc(func() {})
-		if e.runTimeout > 0 {
-			runCtx, cancel = context.WithTimeout(ctx, e.runTimeout)
+		if timeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, timeout)
 		}
 		res, err := RunContext(runCtx, cfg)
 		timedOut := errors.Is(runCtx.Err(), context.DeadlineExceeded)
@@ -282,7 +303,7 @@ func (e *Experiment) execute(ctx context.Context, cfg Config) (*Result, error) {
 		if !timedOut || ctx.Err() != nil {
 			return nil, err // deterministic failure or caller cancellation
 		}
-		err = fmt.Errorf("ptbsim: %w (%s): %v", ErrRunDeadline, e.runTimeout, err)
+		err = fmt.Errorf("ptbsim: %w (%s): %v", ErrRunDeadline, timeout, err)
 		if attempt >= e.retries {
 			return nil, err
 		}

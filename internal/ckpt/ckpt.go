@@ -1,0 +1,232 @@
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot wire format (all integers little-endian):
+//
+//	magic    8 bytes  "PTBCKPT\n"
+//	version  uint32   currently 1
+//	sections TLV*     tag uint32, length uint32, payload
+//	checksum 32 bytes sha256 over everything before it
+//
+// Sections (each exactly once, any order on decode):
+//
+//	tag 1  key     canonical run key (the stable config JSON)
+//	tag 2  config  opaque config payload handed back verbatim on decode
+//	tag 3  cycle   int64, the cycle the snapshot was taken at
+//	tag 4  state   32-byte state digest over all mutable simulator state
+//
+// The checksum catches torn writes and bit flips (ErrCorrupt); the
+// version field rejects snapshots from other schema generations
+// (ErrVersion); the state digest catches a faithful-looking snapshot
+// whose replayed state diverged (ErrStateMismatch). All three are
+// recoverable: callers fall back to recomputing from scratch.
+const (
+	magic   = "PTBCKPT\n"
+	Version = 1
+
+	tagKey    = 1
+	tagConfig = 2
+	tagCycle  = 3
+	tagState  = 4
+)
+
+// Typed snapshot failures. Every decode or restore problem wraps one of
+// these, so callers can distinguish "snapshot unusable, recompute"
+// (Corrupt/Version/StateMismatch) from real run failures.
+var (
+	// ErrCorrupt means the snapshot bytes fail structural validation:
+	// truncated, bad magic, bad checksum, malformed or duplicated
+	// sections. The file is quarantined-by-ignoring; runs restart fresh.
+	ErrCorrupt = errors.New("ckpt: corrupt snapshot")
+
+	// ErrVersion means the snapshot was written by a different schema
+	// generation and cannot be interpreted.
+	ErrVersion = errors.New("ckpt: snapshot version mismatch")
+
+	// ErrStateMismatch means a structurally valid snapshot did not match
+	// the replayed simulator state (or belongs to a different config).
+	ErrStateMismatch = errors.New("ckpt: snapshot state mismatch")
+
+	// ErrStopped reports the deliberate crash-drill abort: the run was
+	// configured to stop after writing its Nth snapshot (Plan.StopAfter)
+	// so tests and CI can exercise a genuine fresh-process resume.
+	ErrStopped = errors.New("ckpt: run stopped after snapshot (crash drill)")
+)
+
+// Snapshot is one decoded checkpoint.
+type Snapshot struct {
+	Key    string // canonical run key (stable config JSON)
+	Config []byte // opaque config payload, round-tripped verbatim
+	Cycle  int64  // cycle the snapshot was taken at
+	State  [32]byte
+}
+
+// Encode serializes s into the versioned, checksummed wire form.
+func (s *Snapshot) Encode() []byte {
+	n := len(magic) + 4 + 3*8 + len(s.Key) + len(s.Config) + 8 + 32 + 8 + 32
+	buf := make([]byte, 0, n)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	section := func(tag uint32, payload []byte) {
+		buf = binary.LittleEndian.AppendUint32(buf, tag)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+	}
+	section(tagKey, []byte(s.Key))
+	section(tagConfig, s.Config)
+	var cyc [8]byte
+	binary.LittleEndian.PutUint64(cyc[:], uint64(s.Cycle))
+	section(tagCycle, cyc[:])
+	section(tagState, s.State[:])
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// Decode parses and validates one snapshot. It returns ErrCorrupt for
+// any structural damage and ErrVersion for schema skew; it never panics,
+// whatever the input.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+4+32 {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body, sum := data[:len(data)-32], data[len(data)-32:]
+	if sha256.Sum256(body) != [32]byte(sum) {
+		return nil, fmt.Errorf("%w: checksum failed", ErrCorrupt)
+	}
+	v := binary.LittleEndian.Uint32(body[len(magic):])
+	if v != Version {
+		return nil, fmt.Errorf("%w: snapshot is v%d, this build reads v%d", ErrVersion, v, Version)
+	}
+	var (
+		s    Snapshot
+		seen [5]bool
+	)
+	rest := body[len(magic)+4:]
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("%w: truncated section header", ErrCorrupt)
+		}
+		tag := binary.LittleEndian.Uint32(rest)
+		n := binary.LittleEndian.Uint32(rest[4:])
+		rest = rest[8:]
+		if uint64(n) > uint64(len(rest)) {
+			return nil, fmt.Errorf("%w: section %d claims %d bytes, %d remain", ErrCorrupt, tag, n, len(rest))
+		}
+		payload := rest[:n]
+		rest = rest[n:]
+		if tag >= 1 && tag <= 4 {
+			if seen[tag] {
+				return nil, fmt.Errorf("%w: duplicate section %d", ErrCorrupt, tag)
+			}
+			seen[tag] = true
+		}
+		switch tag {
+		case tagKey:
+			s.Key = string(payload)
+		case tagConfig:
+			s.Config = append([]byte(nil), payload...)
+		case tagCycle:
+			if len(payload) != 8 {
+				return nil, fmt.Errorf("%w: cycle section has %d bytes", ErrCorrupt, len(payload))
+			}
+			s.Cycle = int64(binary.LittleEndian.Uint64(payload))
+		case tagState:
+			if len(payload) != 32 {
+				return nil, fmt.Errorf("%w: state section has %d bytes", ErrCorrupt, len(payload))
+			}
+			copy(s.State[:], payload)
+		default:
+			// Unknown sections are skipped: a future minor revision may
+			// append data without breaking old readers.
+		}
+	}
+	for tag := 1; tag <= 4; tag++ {
+		if !seen[tag] {
+			return nil, fmt.Errorf("%w: missing section %d", ErrCorrupt, tag)
+		}
+	}
+	if s.Cycle < 0 {
+		return nil, fmt.Errorf("%w: negative cycle %d", ErrCorrupt, s.Cycle)
+	}
+	return &s, nil
+}
+
+// Plan configures periodic snapshots for one run.
+type Plan struct {
+	Every int64  // snapshot period in cycles (<=0 disables)
+	Dir   string // snapshot directory (created on first write)
+
+	// Key identifies the run; the snapshot file name is derived from it
+	// and restores verify it matches. Config is the opaque payload stored
+	// alongside (conventionally the stable config JSON, so a snapshot is
+	// self-describing even without the original invocation).
+	Key    string
+	Config []byte
+
+	// StopAfter, when positive, aborts the run with ErrStopped right
+	// after the Nth snapshot is written — a deterministic "crash" for
+	// resume tests and the CI crash drill.
+	StopAfter int
+}
+
+// Path returns the snapshot file path for p.Key inside p.Dir.
+func (p *Plan) Path() string { return filepath.Join(p.Dir, FileName(p.Key)) }
+
+// FileName returns the content-addressed snapshot file name for a run
+// key: hex(sha256(key)) + ".ckpt".
+func FileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".ckpt"
+}
+
+// WriteFile atomically writes s to path (temp file + rename), creating
+// the directory if needed. A crash mid-write leaves either the previous
+// snapshot or a stray temp file — never a torn snapshot under path.
+func WriteFile(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	data := s.Encode()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadFile loads and decodes the snapshot at path. A missing file is
+// reported as os.ErrNotExist (callers treat it as "no snapshot", not an
+// error); anything unreadable or invalid decodes to a typed ckpt error.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

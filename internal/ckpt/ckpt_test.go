@@ -1,0 +1,246 @@
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	var st [32]byte
+	for i := range st {
+		st[i] = byte(i * 7)
+	}
+	return &Snapshot{
+		Key:    `{"benchmark":"ocean","cores":4}`,
+		Config: []byte(`{"benchmark":"ocean","cores":4,"technique":"ptb"}`),
+		Cycle:  123456,
+		State:  st,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sample()
+	got, err := Decode(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != want.Key || string(got.Config) != string(want.Config) ||
+		got.Cycle != want.Cycle || got.State != want.State {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	data := sample().Encode()
+	for _, n := range []int{0, 1, 7, 8, 11, 12, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated to %d bytes: want ErrCorrupt, got %v", n, err)
+		}
+	}
+}
+
+func TestDecodeBitFlips(t *testing.T) {
+	data := sample().Encode()
+	for pos := 0; pos < len(data); pos += 13 {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0x40
+		_, err := Decode(bad)
+		if err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Errorf("bit flip at %d: want typed error, got %v", pos, err)
+		}
+	}
+}
+
+func TestDecodeVersionSkew(t *testing.T) {
+	data := sample().Encode()
+	// Rewrite the version field and re-seal the checksum so only the
+	// version check can object.
+	binary.LittleEndian.PutUint32(data[len(magic):], Version+1)
+	s := reseal(data)
+	if _, err := Decode(s); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestDecodeMissingAndDuplicateSections(t *testing.T) {
+	// Missing: a body with only the key section.
+	buf := []byte(magic)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, tagKey)
+	buf = binary.LittleEndian.AppendUint32(buf, 1)
+	buf = append(buf, 'k')
+	if _, err := Decode(reseal(buf)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing sections: want ErrCorrupt, got %v", err)
+	}
+	// Duplicate: the full encoding with the cycle section appended twice.
+	data := sample().Encode()
+	body := data[:len(data)-32]
+	body = binary.LittleEndian.AppendUint32(body, tagCycle)
+	body = binary.LittleEndian.AppendUint32(body, 8)
+	body = binary.LittleEndian.AppendUint64(body, 7)
+	if _, err := Decode(reseal(body)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate section: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestDecodeSkipsUnknownSections(t *testing.T) {
+	data := sample().Encode()
+	body := data[:len(data)-32]
+	body = binary.LittleEndian.AppendUint32(body, 99)
+	body = binary.LittleEndian.AppendUint32(body, 3)
+	body = append(body, "xyz"...)
+	got, err := Decode(reseal(body))
+	if err != nil {
+		t.Fatalf("unknown section should be skipped: %v", err)
+	}
+	if got.Cycle != sample().Cycle {
+		t.Fatal("payload corrupted by unknown section")
+	}
+}
+
+// reseal recomputes the trailing checksum over body.
+func reseal(body []byte) []byte {
+	full := append([]byte(nil), body...)
+	sum := sha256.Sum256(full)
+	return append(full, sum[:]...)
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	p := &Plan{Every: 1000, Dir: dir, Key: "k1", Config: []byte("{}")}
+	path := p.Path()
+	if !strings.HasSuffix(path, ".ckpt") {
+		t.Fatalf("snapshot path %q lacks .ckpt suffix", path)
+	}
+	want := sample()
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycle != want.Cycle || got.State != want.State {
+		t.Fatal("file round trip mismatch")
+	}
+	// Overwrite is atomic: a second write replaces, never appends.
+	want.Cycle = 999
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycle != 999 {
+		t.Fatalf("overwrite not visible: cycle %d", got.Cycle)
+	}
+	// No temp droppings.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("snapshot dir has %d entries, want 1", len(ents))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+func TestReadFileCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	if err := os.WriteFile(path, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestHasherDeterministicAndSensitive(t *testing.T) {
+	fill := func(h *Hasher) {
+		h.WriteU64(1)
+		h.WriteI64(-5)
+		h.WriteF64(3.14)
+		h.WriteBool(true)
+		h.WriteInt(42)
+		h.WriteBytes([]byte("abc"))
+		h.WriteString("def")
+	}
+	a, b := NewHasher(), NewHasher()
+	fill(a)
+	fill(b)
+	if a.Sum() != b.Sum() {
+		t.Fatal("hasher is not deterministic")
+	}
+	c := NewHasher()
+	fill(c)
+	c.WriteU64(0)
+	if a.Sum() == c.Sum() {
+		t.Fatal("hasher misses an appended value")
+	}
+	// Length prefixes keep concatenations unambiguous.
+	x, y := NewHasher(), NewHasher()
+	x.WriteString("ab")
+	x.WriteString("c")
+	y.WriteString("a")
+	y.WriteString("bc")
+	if x.Sum() == y.Sum() {
+		t.Fatal("string framing is ambiguous")
+	}
+}
+
+func TestHasherLargeWrites(t *testing.T) {
+	// Writes larger than the internal buffer must chunk correctly.
+	big := make([]byte, 3*4096+17)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	a := NewHasher()
+	a.WriteBytes(big)
+	b := NewHasher()
+	b.WriteBytes(big)
+	if a.Sum() != b.Sum() {
+		t.Fatal("large write not deterministic")
+	}
+	c := NewHasher()
+	big[5000] ^= 1
+	c.WriteBytes(big)
+	if a.Sum() == c.Sum() {
+		t.Fatal("large write misses a flipped byte")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[uint64]int{5: 0, 1: 0, 9: 0, 3: 0}
+	got := SortedKeys(m)
+	want := []uint64{1, 3, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFileNameStable(t *testing.T) {
+	a, b := FileName("key"), FileName("key")
+	if a != b || FileName("other") == a {
+		t.Fatal("FileName not content-addressed")
+	}
+	if len(a) != 64+len(".ckpt") {
+		t.Fatalf("unexpected file name %q", a)
+	}
+}

@@ -1,0 +1,44 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode proves the snapshot decoder's safety contract:
+// whatever bytes arrive — truncated, bit-flipped, version-skewed, or
+// adversarial — Decode either returns a valid Snapshot or one of the
+// typed errors. It never panics, and any successful decode re-encodes
+// back to a decodable snapshot with identical content.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	good := sample().Encode()
+	f.Add(good)
+	trunc := good[:len(good)/2]
+	f.Add(trunc)
+	flipped := append([]byte(nil), good...)
+	flipped[len(magic)+2] ^= 0xff // version skew
+	f.Add(flipped)
+	flipped2 := append([]byte(nil), good...)
+	flipped2[len(flipped2)-5] ^= 0x01 // checksum damage
+	f.Add(flipped2)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// A decodable snapshot must survive a re-encode round trip.
+		again, err := Decode(s.Encode())
+		if err != nil {
+			t.Fatalf("re-encode of a valid snapshot failed to decode: %v", err)
+		}
+		if again.Key != s.Key || again.Cycle != s.Cycle || again.State != s.State ||
+			string(again.Config) != string(s.Config) {
+			t.Fatal("re-encode round trip changed content")
+		}
+	})
+}

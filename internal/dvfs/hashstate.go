@@ -1,0 +1,14 @@
+package dvfs
+
+import "ptbsim/internal/ckpt"
+
+// HashState folds the governor's ladder positions into h for checkpoint
+// digests. The mode table is static configuration. The field order is
+// append-only.
+func (g *Governor) HashState(h *ckpt.Hasher) {
+	for _, i := range g.idx {
+		h.WriteInt(i)
+	}
+	h.WriteI64(g.transitions)
+	h.WriteI64(g.glitches)
+}

@@ -1,0 +1,12 @@
+package mem
+
+import "ptbsim/internal/ckpt"
+
+// HashState folds the memory controller's mutable state into h for
+// checkpoint digests. The field order is append-only.
+func (m *Memory) HashState(h *ckpt.Hasher) {
+	for _, f := range m.nextFree {
+		h.WriteI64(f)
+	}
+	h.WriteI64(m.accesses)
+}

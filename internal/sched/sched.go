@@ -261,6 +261,15 @@ func (s *Scheduler[V]) SetWorkers(workers int) {
 	s.mu.Unlock()
 }
 
+// SetCache replaces the result-cache backend. Call it before the first
+// request — entries already living in the old backend are not migrated,
+// so swapping mid-run forfeits them (they are recomputed, never wrong).
+func (s *Scheduler[V]) SetCache(c Cache[V]) {
+	s.mu.Lock()
+	s.cache = c
+	s.mu.Unlock()
+}
+
 // SetEventFunc installs the streaming callback. Events are delivered
 // synchronously from whichever goroutine completes a request; fn must be
 // safe for concurrent use (or do its own locking).

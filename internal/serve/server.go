@@ -36,8 +36,9 @@ import (
 // mount via Handler.
 type Server struct {
 	exp *ptbsim.Experiment
-	st  *store.Store // optional persistent cache, for /v1/results
-	hub *Hub         // optional telemetry hub, for /v1/telemetry
+	st  *store.Store   // optional persistent cache, for /v1/results
+	hub *Hub           // optional telemetry hub, for /v1/telemetry
+	jr  *store.Journal // optional write-ahead journal of accepted jobs
 	mux *http.ServeMux
 
 	started time.Time
@@ -67,6 +68,75 @@ func New(exp *ptbsim.Experiment, st *store.Store, hub *Hub) *Server {
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// AttachJournal installs a write-ahead journal of accepted jobs: every
+// successfully submitted configuration is journaled (fsync'd) before the
+// HTTP acknowledgment, and marked done once its result is in the cache.
+// A SIGKILL'd server therefore reboots knowing exactly which accepted
+// jobs never completed — feed them back through ReplayJournal. Call
+// before serving requests; nil detaches.
+func (s *Server) AttachJournal(jr *store.Journal) { s.jr = jr }
+
+// journalAccept records an accepted job in the journal — before any
+// response bytes, so an acknowledgment can never outrun durability — and
+// arms the completion watcher. Nil-journal servers skip both.
+func (s *Server) journalAccept(job *ptbsim.Job, priority int) {
+	if s.jr == nil {
+		return
+	}
+	cfgJSON, err := json.Marshal(job.Config())
+	if err == nil {
+		_ = s.jr.Accept(store.JournalRecord{ID: job.Key(), Config: cfgJSON, Priority: priority})
+	}
+	go func() {
+		// The watcher outlives the request: a client that disconnects
+		// mid-run must not leave a completed job marked pending forever.
+		_, runErr := job.Await(context.Background())
+		if runErr != nil && errors.Is(runErr, ptbsim.ErrDraining) {
+			// Shutdown interrupted the job before it ran; leave it
+			// journaled so the next boot replays it.
+			return
+		}
+		s.jr.Done(job.Key())
+	}()
+}
+
+// ReplayJournal resubmits the pending records a recovering journal
+// returned from OpenJournal: each record's config is decoded and
+// submitted at its original priority, detached from any request (results
+// land in the cache; completions clear the journal). It reports how many
+// records were resubmitted; undecodable records are counted out and
+// marked done rather than wedging recovery on every future boot.
+func (s *Server) ReplayJournal(ctx context.Context, pending []store.JournalRecord) (int, error) {
+	replayed := 0
+	for _, rec := range pending {
+		var cfg ptbsim.Config
+		if err := json.Unmarshal(rec.Config, &cfg); err != nil {
+			if s.jr != nil {
+				s.jr.Done(rec.ID)
+			}
+			continue
+		}
+		job, err := s.exp.Submit(ctx, cfg, rec.Priority)
+		if err != nil {
+			return replayed, fmt.Errorf("replaying journaled job %s: %w", rec.ID, err)
+		}
+		s.journalAccept(job, rec.Priority)
+		if s.jr != nil && job.Key() != rec.ID {
+			// The record was journaled under a different key (an older
+			// binary, say); clear it under its own ID once the replayed
+			// job resolves so it doesn't haunt every future boot.
+			go func(id string, job *ptbsim.Job) {
+				if _, err := job.Await(context.Background()); errors.Is(err, ptbsim.ErrDraining) {
+					return
+				}
+				s.jr.Done(id)
+			}(rec.ID, job)
+		}
+		replayed++
+	}
+	return replayed, nil
+}
 
 // errorJSON is the wire form of every non-2xx response.
 type errorJSON struct {
@@ -142,6 +212,10 @@ type statsJSON struct {
 	StoreRejected int    `json:"store_rejected,omitempty"`
 	StoreError    string `json:"store_error,omitempty"`
 
+	JournalPending int    `json:"journal_pending,omitempty"`
+	JournalTorn    int    `json:"journal_torn,omitempty"`
+	JournalError   string `json:"journal_error,omitempty"`
+
 	Subscribers   int   `json:"telemetry_subscribers"`
 	DroppedEvents int64 `json:"telemetry_dropped"`
 }
@@ -168,6 +242,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.StoreError = err.Error()
 		}
 	}
+	if s.jr != nil {
+		st.JournalPending = s.jr.Pending()
+		st.JournalTorn = s.jr.Torn()
+		if err := s.jr.Err(); err != nil {
+			st.JournalError = err.Error()
+		}
+	}
 	if s.hub != nil {
 		st.Subscribers = s.hub.Subscribers()
 		st.DroppedEvents = s.hub.Dropped()
@@ -176,10 +257,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // runRequest is the POST /v1/runs wire form: the standard Config schema
-// under "config", plus queue priority.
+// under "config", plus queue priority and an optional per-request
+// wall-clock budget.
 type runRequest struct {
 	Config   ptbsim.Config `json:"config"`
 	Priority int           `json:"priority,omitempty"`
+	// TimeoutMS caps this run's wall-clock time in milliseconds
+	// (0 = the server's default). A run that exceeds it fails 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// maxTimeoutMS bounds client-supplied timeout_ms at one hour — anything
+// larger (or negative) is a malformed request, not a budget.
+const maxTimeoutMS = 3_600_000
+
+// submitOpts validates a request's timeout_ms and folds it into the
+// submission options.
+func submitOpts(priority int, timeoutMS int64) (ptbsim.SubmitOptions, error) {
+	if timeoutMS < 0 || timeoutMS > maxTimeoutMS {
+		return ptbsim.SubmitOptions{}, fmt.Errorf(
+			"timeout_ms %d out of range [0, %d]", timeoutMS, maxTimeoutMS)
+	}
+	return ptbsim.SubmitOptions{
+		Priority: priority,
+		Timeout:  time.Duration(timeoutMS) * time.Millisecond,
+	}, nil
 }
 
 // runResponse is one answered configuration. Digest is the short
@@ -201,12 +303,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	opts, err := submitOpts(req.Priority, req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	start := time.Now()
-	job, err := s.exp.Submit(r.Context(), req.Config, req.Priority)
+	job, err := s.exp.SubmitOpts(r.Context(), req.Config, opts)
 	if err != nil {
 		s.submitError(w, err)
 		return
 	}
+	s.journalAccept(job, req.Priority)
 	res, runErr := job.Await(r.Context())
 	s.account(job, runErr)
 	resp := runResponse{
@@ -224,7 +332,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			// Client gone; the run continues detached and warms the cache.
 			return
 		}
-		writeJSON(w, http.StatusInternalServerError, resp)
+		code := http.StatusInternalServerError
+		if errors.Is(runErr, ptbsim.ErrRunDeadline) {
+			// The run outlived its wall-clock budget — the 504-class
+			// outcome a client with a timeout_ms asked to be told about.
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -240,6 +354,9 @@ type sweepRequest struct {
 	RelaxFracs  []float64 `json:"relax_fracs,omitempty"`
 	BudgetFracs []float64 `json:"budget_fracs,omitempty"`
 	Priority    int       `json:"priority,omitempty"`
+	// TimeoutMS caps each member run's wall-clock time in milliseconds
+	// (0 = the server's default); members that exceed it fail in place.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // sweep converts the wire form through the public parsers.
@@ -290,6 +407,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	opts, err := submitOpts(req.Priority, req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	cfgs := sweep.Configs()
 	start := time.Now()
 
@@ -299,7 +421,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// the cache, so a retry makes monotone progress.
 	jobs := make([]*ptbsim.Job, 0, len(cfgs))
 	for _, cfg := range cfgs {
-		job, err := s.exp.Submit(r.Context(), cfg, req.Priority)
+		job, err := s.exp.SubmitOpts(r.Context(), cfg, opts)
 		if err != nil {
 			if errors.Is(err, ptbsim.ErrQueueFull) || errors.Is(err, ptbsim.ErrDraining) {
 				s.submitError(w, fmt.Errorf("sweep config %d/%d: %w", len(jobs), len(cfgs), err))
@@ -308,6 +430,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		s.journalAccept(job, req.Priority)
 		jobs = append(jobs, job)
 	}
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -290,5 +291,137 @@ func TestShutdownDrainsAndPersists(t *testing.T) {
 	}
 	if fmt.Sprint(second.Result.Digest()) != fmt.Sprint(first.Result.Digest()) {
 		t.Error("full digests differ across restart")
+	}
+}
+
+func TestTimeoutMSRejectsAbsurdValues(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir())
+	cfg := ptbsim.Config{Benchmark: "fft", Cores: 2, Technique: ptbsim.None}
+	for _, ms := range []int64{-1, 3_600_001} {
+		resp := postJSON(t, ts.URL+"/v1/runs", runRequest{Config: cfg, TimeoutMS: ms})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("timeout_ms=%d: status = %d, want 400", ms, resp.StatusCode)
+		}
+		resp2 := postJSON(t, ts.URL+"/v1/sweeps", sweepRequest{
+			Benchmarks: []string{"fft"}, CoreCounts: []int{2}, Techniques: []string{"none"},
+			TimeoutMS: ms,
+		})
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusBadRequest {
+			t.Errorf("sweep timeout_ms=%d: status = %d, want 400", ms, resp2.StatusCode)
+		}
+	}
+}
+
+func TestTimeoutMSDeadline504(t *testing.T) {
+	// Full-scale barnes on 32 cores takes far longer than 1ms: the run
+	// must fail with the structured 504-class deadline error.
+	_, ts := newTestServer(t, t.TempDir(), ptbsim.WithScale(1))
+	resp := postJSON(t, ts.URL+"/v1/runs", runRequest{
+		Config:    ptbsim.Config{Benchmark: "barnes", Cores: 32, Technique: ptbsim.PTB},
+		TimeoutMS: 1,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Error == "" || !strings.Contains(rr.Error, "deadline") {
+		t.Fatalf("504 body lacks a structured deadline error: %+v", rr)
+	}
+}
+
+// waitJournalDrained polls until the journal has no pending records (the
+// completion watcher runs on its own goroutine).
+func waitJournalDrained(t *testing.T, jr *store.Journal) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if jr.Pending() == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("journal still has %d pending records", jr.Pending())
+}
+
+func TestJournalAcceptedThenDone(t *testing.T) {
+	dir := t.TempDir()
+	jr, pending, err := store.OpenJournal(filepath.Join(dir, "jobs.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending", len(pending))
+	}
+	srv, ts := newTestServer(t, dir)
+	srv.AttachJournal(jr)
+
+	resp := postJSON(t, ts.URL+"/v1/runs", runRequest{
+		Config: ptbsim.Config{Benchmark: "fft", Cores: 2, Technique: ptbsim.None},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	waitJournalDrained(t, jr)
+}
+
+func TestJournalReplayRecoversInterruptedJob(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "jobs.wal")
+	cfg := ptbsim.Config{Benchmark: "radix", Cores: 2, Technique: ptbsim.None}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The "crashed" process: a job was accepted and journaled, but the
+	// process died before completing it.
+	jr0, _, err := store.OpenJournal(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr0.Accept(store.JournalRecord{ID: "interrupted-job", Config: cfgJSON, Priority: 3}); err != nil {
+		t.Fatal(err)
+	}
+	jr0.Close()
+
+	// The reboot: replay must resubmit the job, complete it, and clear
+	// the journal — zero accepted jobs lost.
+	jr, pending, err := store.OpenJournal(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	if len(pending) != 1 {
+		t.Fatalf("pending = %+v, want the interrupted job", pending)
+	}
+	srv, ts := newTestServer(t, dir)
+	srv.AttachJournal(jr)
+	n, err := srv.ReplayJournal(context.Background(), pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d jobs, want 1", n)
+	}
+	waitJournalDrained(t, jr)
+
+	// The recomputed result is in the cache: the same config over HTTP
+	// answers cached.
+	resp := postJSON(t, ts.URL+"/v1/runs", runRequest{Config: cfg})
+	defer resp.Body.Close()
+	var rr runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Cached {
+		t.Fatal("replayed job's result not served from cache")
 	}
 }

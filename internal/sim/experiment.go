@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"ptbsim/internal/ckpt"
 	"ptbsim/internal/core"
 	"ptbsim/internal/cpu"
 	"ptbsim/internal/fault"
@@ -58,6 +59,19 @@ type Runner struct {
 	// part of the cache key — it cannot change results — so cached runs
 	// emit no samples; only fresh simulations stream.
 	Observe *obs.Config
+	// CheckpointEvery and CheckpointDir, when both set, arm crash-recovery
+	// snapshots on every run this runner executes: each cell periodically
+	// saves a snapshot keyed by its full cache key, a restarted sweep
+	// resumes partial cells from their latest snapshot (byte-identically —
+	// see DESIGN.md §14), and a cell's snapshot is deleted the moment the
+	// cell completes. Set before the first run. Like telemetry they stay
+	// out of the cache key: snapshots cannot change results.
+	CheckpointEvery int64
+	CheckpointDir   string
+	// CheckpointStop, when > 0, arms the crash drill on every cell: a run
+	// aborts with ckpt.ErrStopped right after its Nth snapshot. Restarting
+	// the sweep resumes the aborted cell (resumed runs ignore the drill).
+	CheckpointStop int
 	// IntraParallel shards each simulated chip across up to that many
 	// goroutine-stepped tiles (see Config.IntraParallel; 0 = serial):
 	// every run uses the largest divisor of its core count that fits, so
@@ -120,14 +134,29 @@ func runKey(bench string, cores int, tech Technique, pol core.Policy, relax floa
 	return fmt.Sprintf("%s/%d/%s/%v/%.2f", bench, cores, tech, pol, relax)
 }
 
-// key extends runKey with the runner's fault spec so faulted and clean runs
-// never collide in the cache.
+// key extends runKey with everything else result-determining — the
+// runner's scale, cycle cap and fault spec — so runs from differently
+// configured runners never collide in a persistent cell store (and
+// faulted and clean runs never collide in the in-memory cache).
 func (r *Runner) key(bench string, cores int, tech Technique, pol core.Policy, relax float64) string {
-	k := runKey(bench, cores, tech, pol, relax)
+	k := fmt.Sprintf("s%g/m%d/%s", r.Scale, r.MaxCycles, runKey(bench, cores, tech, pol, relax))
 	if r.Faults != nil {
 		k += "/faults=" + r.Faults.String()
 	}
 	return k
+}
+
+// SetStore installs a persistent cell store at dir (see RunStore): every
+// completed run writes through, and a restarted sweep over the same
+// directory skips finished cells. Call before the first run. The store
+// is returned so callers can surface Rejected and Err.
+func (r *Runner) SetStore(dir string) (*RunStore, error) {
+	st, err := OpenRunStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	r.eng.SetCache(st)
+	return st, nil
 }
 
 // RunContext returns the result of one configuration, simulating it at
@@ -148,7 +177,7 @@ func (r *Runner) simulate(ctx context.Context, bench string, cores int, tech Tec
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown benchmark %q", bench)
 	}
-	return RunContext(ctx, Config{
+	cfg := Config{
 		Benchmark:     spec,
 		Cores:         cores,
 		Technique:     tech,
@@ -160,7 +189,18 @@ func (r *Runner) simulate(ctx context.Context, bench string, cores int, tech Tec
 		Faults:        r.Faults,
 		Observe:       r.Observe,
 		IntraParallel: partition.Fit(cores, r.IntraParallel),
-	})
+	}
+	if r.CheckpointDir != "" && r.CheckpointEvery > 0 {
+		k := r.key(bench, cores, tech, pol, relax)
+		cfg.Checkpoint = &ckpt.Plan{
+			Every:     r.CheckpointEvery,
+			Dir:       r.CheckpointDir,
+			Key:       k,
+			Config:    []byte(k),
+			StopAfter: r.CheckpointStop,
+		}
+	}
+	return RunOrResumeContext(ctx, cfg)
 }
 
 // Run is the context-free form the figure builders use: it consults the

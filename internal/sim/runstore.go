@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"ptbsim/internal/metrics"
+)
+
+// RunStore is a persistent sched.Cache for sweep cells: every completed
+// run is written through to one JSON file under dir, so a restarted
+// sweep (same flags, same directory) skips every cell that already
+// finished and recomputes only what was lost. Files are self-describing
+// — the full cache key rides inside and is verified at load, so a file
+// that was truncated, hand-edited, or belongs to a different key is
+// skipped (and counted) rather than served: degraded, never wrong.
+//
+// encoding/json round-trips float64 bit-exactly, so a result loaded from
+// disk is byte-identical to the freshly computed one.
+type RunStore struct {
+	dir string
+
+	mu       sync.Mutex
+	mem      map[string]*metrics.RunResult
+	err      error // first write failure, latched
+	rejected int   // unreadable or mismatched files skipped at open
+}
+
+// runCell is the on-disk form of one cached sweep cell.
+type runCell struct {
+	Key    string             `json:"key"`
+	Result *metrics.RunResult `json:"result"`
+}
+
+// OpenRunStore opens (creating if needed) a run store rooted at dir and
+// loads every valid cell into memory. Unreadable or key-mismatched files
+// are skipped and counted (Rejected), never served.
+func OpenRunStore(dir string) (*RunStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sim: runstore: %w", err)
+	}
+	st := &RunStore{dir: dir, mem: make(map[string]*metrics.RunResult)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sim: runstore: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".run.json") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			st.rejected++
+			continue
+		}
+		var cell runCell
+		if err := json.Unmarshal(data, &cell); err != nil ||
+			cell.Result == nil || cellFileName(cell.Key) != name {
+			st.rejected++
+			continue
+		}
+		st.mem[cell.Key] = cell.Result
+	}
+	return st, nil
+}
+
+func cellFileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".run.json"
+}
+
+// Get reports the stored result for key, if any.
+func (st *RunStore) Get(key string) (*metrics.RunResult, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v, ok := st.mem[key]
+	return v, ok
+}
+
+// Put stores a completed cell in memory and writes it through to disk
+// atomically (temp file + rename). A write failure latches Err and
+// degrades the store to memory-only — results are never lost to the
+// caller, only to the next process.
+func (st *RunStore) Put(key string, v *metrics.RunResult) {
+	st.mu.Lock()
+	st.mem[key] = v
+	st.mu.Unlock()
+
+	data, err := json.Marshal(runCell{Key: key, Result: v})
+	if err != nil {
+		st.latch(err)
+		return
+	}
+	tmp, err := os.CreateTemp(st.dir, ".cell-*")
+	if err != nil {
+		st.latch(err)
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		st.latch(err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		st.latch(err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(st.dir, cellFileName(key))); err != nil {
+		os.Remove(tmp.Name())
+		st.latch(err)
+	}
+}
+
+func (st *RunStore) latch(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = fmt.Errorf("sim: runstore degraded to memory-only: %w", err)
+	}
+	st.mu.Unlock()
+}
+
+// Len reports the number of cached cells.
+func (st *RunStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.mem)
+}
+
+// Err reports the latched write failure, if any.
+func (st *RunStore) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// Rejected reports how many files were skipped at open.
+func (st *RunStore) Rejected() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rejected
+}

@@ -53,8 +53,11 @@ type Store struct {
 
 // Open loads (or creates) a store rooted at dir. Every existing entry is
 // decoded and digest-verified; files that fail — truncated writes,
-// corruption, hand edits — are left on disk but excluded from the cache,
-// reported by Rejected. Only *.json files are considered.
+// corruption, hand edits — are excluded from the cache, quarantined on
+// disk (renamed to *.corrupt next to a .reason sidecar naming what was
+// wrong) and reported by Rejected, so a damaged entry is recomputed on
+// the next request instead of served, and never re-examined on the next
+// Open. Only *.json files are considered.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -71,25 +74,41 @@ func Open(dir string) (*Store, error) {
 	for _, name := range names {
 		data, err := os.ReadFile(name)
 		if err != nil {
-			s.rejected = append(s.rejected, filepath.Base(name))
+			s.quarantine(name, fmt.Sprintf("unreadable: %v", err))
 			continue
 		}
 		var e entry
-		if err := json.Unmarshal(data, &e); err != nil || e.Key == "" || e.Result == nil {
+		if err := json.Unmarshal(data, &e); err != nil {
 			// Includes ptbsim.ErrDigestMismatch: the result wire form
 			// self-checks on decode.
-			s.rejected = append(s.rejected, filepath.Base(name))
+			s.quarantine(name, fmt.Sprintf("undecodable: %v", err))
+			continue
+		}
+		if e.Key == "" || e.Result == nil {
+			s.quarantine(name, "incomplete entry: missing key or result")
 			continue
 		}
 		if filepath.Base(name) != fileName(e.Key) {
 			// Entry renamed or copied under a foreign key hash.
-			s.rejected = append(s.rejected, filepath.Base(name))
+			s.quarantine(name, fmt.Sprintf("misnamed: key hashes to %s", fileName(e.Key)))
 			continue
 		}
 		s.mem[e.Key] = e.Result
 		s.byDigest[DigestFragment(e.Result)] = e.Result
 	}
 	return s, nil
+}
+
+// quarantine records a refused entry and moves it aside: name becomes
+// name.corrupt with a name.corrupt.reason sidecar for post-mortems. A
+// failed rename leaves the file in place — it is still excluded from the
+// cache, just re-examined on the next Open.
+func (s *Store) quarantine(name, reason string) {
+	s.rejected = append(s.rejected, filepath.Base(name))
+	if err := os.Rename(name, name+".corrupt"); err != nil {
+		return
+	}
+	_ = os.WriteFile(name+".corrupt.reason", []byte(reason+"\n"), 0o644)
 }
 
 // fileName is the content address of a cache key.

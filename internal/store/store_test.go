@@ -115,12 +115,13 @@ func TestOpenRejectsGarbageAndMisnamedFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The garbage file is rejected — and quarantined — on the first open.
+	if got := len(s.Rejected()); got != 1 {
+		t.Fatalf("Rejected() = %v, want the garbage file", s.Rejected())
+	}
 	s.Put("key-a", runOne(t, "fft"))
 	names, _ := filepath.Glob(filepath.Join(dir, "*.json"))
 	for _, n := range names {
-		if filepath.Base(n) == "garbage.json" {
-			continue
-		}
 		// Copy the valid entry under a wrong content address.
 		data, _ := os.ReadFile(n)
 		if err := os.WriteFile(filepath.Join(dir, strings.Repeat("ab", 32)+".json"), data, 0o644); err != nil {
@@ -132,10 +133,10 @@ func TestOpenRejectsGarbageAndMisnamedFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	if s2.Len() != 1 {
-		t.Fatalf("Len() = %d, want 1 (garbage and misnamed entries rejected)", s2.Len())
+		t.Fatalf("Len() = %d, want 1 (misnamed entry rejected)", s2.Len())
 	}
-	if got := len(s2.Rejected()); got != 2 {
-		t.Fatalf("Rejected() = %v, want 2 files", s2.Rejected())
+	if got := len(s2.Rejected()); got != 1 {
+		t.Fatalf("Rejected() = %v, want the misnamed file", s2.Rejected())
 	}
 }
 

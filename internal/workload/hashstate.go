@@ -1,0 +1,42 @@
+package workload
+
+import "ptbsim/internal/ckpt"
+
+// HashState folds one generator thread's mutable state into h for
+// checkpoint digests: the rng stream, the block machine, the address
+// cursors, and every static branch's pattern position (sorted by PC —
+// map order is randomized). Spec-derived tables are static and excluded.
+// The field order is append-only.
+func (g *Generator) HashState(h *ckpt.Hasher) {
+	h.WriteInt(g.thread)
+	h.WriteU64(g.rng.State())
+	h.WriteInt(int(g.state))
+	h.WriteInt(g.quantum)
+	h.WriteInt(g.remaining)
+	h.WriteI64(int64(g.curLock))
+	h.WriteI64(g.spinGen)
+	h.WriteInt(len(g.queue))
+	for i := range g.queue {
+		in := &g.queue[i]
+		h.WriteU64(in.PC)
+		h.WriteInt(int(in.Op))
+		h.WriteU64(in.Addr)
+		h.WriteBool(in.Taken)
+	}
+	h.WriteU64(g.privCursor)
+	h.WriteU64(g.sharedCursor)
+	h.WriteInt(g.pcCursor)
+	h.WriteU64(g.hotCursor)
+	h.WriteInt(len(g.branchState))
+	for _, pc := range ckpt.SortedKeys(g.branchState) {
+		st := g.branchState[pc]
+		h.WriteU64(pc)
+		h.WriteInt(st.period)
+		h.WriteInt(st.count)
+		h.WriteBool(st.hard)
+	}
+	h.WriteI64(g.emitted)
+	h.WriteI64(g.lockAcqs)
+	h.WriteI64(g.spinIters)
+	h.WriteI64(g.barrierWaits)
+}

@@ -2,6 +2,7 @@ package ptbsim
 
 import (
 	"context"
+	"time"
 
 	"ptbsim/internal/sched"
 )
@@ -130,15 +131,38 @@ func (j *Job) Await(ctx context.Context) (*Result, error) {
 // one Progress event — with Cached set when it resolved without a fresh
 // simulation — when it completes.
 func (e *Experiment) Submit(ctx context.Context, cfg Config, priority int) (*Job, error) {
+	return e.SubmitOpts(ctx, cfg, SubmitOptions{Priority: priority})
+}
+
+// SubmitOptions refines a submission beyond the configuration itself.
+type SubmitOptions struct {
+	// Priority orders the queue: higher runs sooner, equal priorities in
+	// submission order.
+	Priority int
+	// Timeout, when > 0, overrides the experiment's WithRunTimeout for
+	// this job: the run fails with an error wrapping ErrRunDeadline once
+	// the wall-clock budget is spent (still subject to WithRetries). It is
+	// not part of the dedup identity — a submission that coalesces onto an
+	// in-flight run inherits that run's deadline.
+	Timeout time.Duration
+}
+
+// SubmitOpts is Submit with per-submission options; see Submit for the
+// queueing, dedup and backpressure semantics.
+func (e *Experiment) SubmitOpts(ctx context.Context, cfg Config, opts SubmitOptions) (*Job, error) {
 	cfg = e.normalize(cfg)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	timeout := e.runTimeout
+	if opts.Timeout > 0 {
+		timeout = opts.Timeout
+	}
 	t, err := e.eng.Submit(ctx, sched.Job[*Result]{
 		Key:      e.key(cfg),
-		Priority: priority,
+		Priority: opts.Priority,
 		Run: func(ctx context.Context) (*Result, error) {
-			return e.execute(ctx, cfg)
+			return e.executeWith(ctx, cfg, timeout)
 		},
 		OnDone: func(ev sched.Event[*Result]) {
 			e.emit(Progress{
